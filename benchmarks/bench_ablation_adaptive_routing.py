@@ -1,0 +1,37 @@
+"""Ablation: minimal adaptive vs deterministic routing (Section 2).
+
+The 21364 router picks among minimal productive directions by
+congestion.  Re-running the Figure 15 load test with adaptivity
+disabled shows what that buys at saturation.
+"""
+
+from repro.systems import GS1280System
+from repro.workloads.loadtest import run_load_test
+
+
+def compare_routing():
+    out = {}
+    for label, adaptive in (("adaptive", True), ("deterministic", False)):
+        curve = run_load_test(
+            lambda adaptive=adaptive: GS1280System(16, adaptive=adaptive),
+            outstanding_values=(4, 16, 30),
+            warmup_ns=3000.0,
+            window_ns=8000.0,
+        )
+        out[label] = curve
+    return out
+
+
+def test_ablation_adaptive_routing_gains_bandwidth(benchmark):
+    curves = benchmark.pedantic(compare_routing, rounds=1, iterations=1)
+    adaptive = curves["adaptive"].saturation_bandwidth_mbps()
+    deterministic = curves["deterministic"].saturation_bandwidth_mbps()
+    print(f"\nsaturation: adaptive {adaptive:,.0f} MB/s vs "
+          f"deterministic {deterministic:,.0f} MB/s "
+          f"({adaptive / deterministic - 1:+.1%})")
+    assert adaptive >= deterministic
+    # Latency under load is also no worse.
+    assert (
+        curves["adaptive"].latencies_ns()[-1]
+        <= curves["deterministic"].latencies_ns()[-1] * 1.05
+    )

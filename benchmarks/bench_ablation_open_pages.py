@@ -1,0 +1,40 @@
+"""Ablation: RDRAM open-page capacity (Section 2's "up to 2048 pages
+open simultaneously").
+
+Sweeping the open-page budget on a page-local access stream shows why
+the EV7's unusually deep page table matters: a 64-page controller (the
+older machines') thrashes on multi-stream traffic.
+"""
+
+from repro.config import GS1280Config
+from repro.memory import RdramArray
+
+import dataclasses
+
+
+def hit_rates_by_capacity(streams=32, accesses_per_stream=256):
+    """Interleave many sequential streams; measure page-hit rate."""
+    base = GS1280Config.build(1).memory
+    out = {}
+    for capacity in (1, 16, 64, 2048):
+        cfg = dataclasses.replace(base, max_open_pages=capacity)
+        rdram = RdramArray(cfg)
+        # Round-robin over streams, each walking its own region.
+        position = [s << 24 for s in range(streams)]
+        for i in range(streams * accesses_per_stream):
+            s = i % streams
+            rdram.access_latency_ns(position[s])
+            position[s] += 64
+        out[capacity] = rdram.hit_rate()
+    return out
+
+
+def test_ablation_open_page_capacity(benchmark):
+    rates = benchmark.pedantic(hit_rates_by_capacity, rounds=1, iterations=1)
+    print("\npage-hit rate by open-page capacity: "
+          + ", ".join(f"{c}: {r:.2%}" for c, r in rates.items()))
+    # 2048 pages hold every stream's page; tiny budgets thrash.
+    assert rates[2048] > 0.95
+    assert rates[1] < 0.20
+    assert rates[16] < 0.20  # 32 streams thrash a 16-page budget too
+    assert rates[1] <= rates[16] <= rates[64] <= rates[2048]

@@ -1,0 +1,63 @@
+"""Ablation: flit-level reference router vs the packet-level fabric.
+
+The packet-level fabric (used by every paper experiment) abstracts the
+21364's flit pipeline.  This bench cross-validates the abstraction:
+zero-load hop latency must scale identically in both models, and the
+flit model's arbitration detail must not change who wins under load.
+"""
+
+from repro.config import TorusShape
+from repro.network import MessageClass
+from repro.network.detailed import DetailedTorusNetwork, FlitMessage
+
+
+def zero_load_latency_by_hops(adaptive=True):
+    """Flit-model latency for 1..4-hop destinations on a 4x4 torus."""
+    out = {}
+    for dst, hops in ((1, 1), (2, 2), (6, 3), (10, 4)):
+        network = DetailedTorusNetwork(TorusShape(4, 4), adaptive=adaptive)
+        msg = FlitMessage(0, dst, MessageClass.REQUEST)
+        network.inject(msg)
+        network.run()
+        out[hops] = msg.latency_cycles
+    return out
+
+
+def test_ablation_flit_model_latency_linear_in_hops(benchmark):
+    latencies = benchmark.pedantic(
+        zero_load_latency_by_hops, rounds=1, iterations=1
+    )
+    print(f"\nflit-model zero-load latency (cycles): {latencies}")
+    # Linear hop scaling, like the packet model's per-hop constant.
+    increments = [
+        latencies[h + 1] - latencies[h] for h in (1, 2, 3)
+    ]
+    assert max(increments) - min(increments) <= 2
+    assert all(i > 0 for i in increments)
+
+
+def saturation_cycles(adaptive):
+    """Drain time for a burst of uniform-random traffic."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    network = DetailedTorusNetwork(TorusShape(4, 4), buffer_flits=4,
+                                   adaptive=adaptive)
+    for _ in range(200):
+        src, dst = rng.integers(0, 16, size=2)
+        while dst == src:
+            dst = rng.integers(0, 16)
+        network.inject(FlitMessage(int(src), int(dst), MessageClass.RESPONSE))
+    network.run(max_cycles=100_000)
+    return network.cycle
+
+
+def test_ablation_adaptivity_helps_in_flit_model_too(benchmark):
+    results = benchmark.pedantic(
+        lambda: (saturation_cycles(True), saturation_cycles(False)),
+        rounds=1, iterations=1,
+    )
+    adaptive, deterministic = results
+    print(f"\nburst drain: adaptive {adaptive} cycles, "
+          f"escape-only {deterministic} cycles")
+    assert adaptive <= deterministic * 1.05

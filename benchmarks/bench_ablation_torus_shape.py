@@ -1,0 +1,37 @@
+"""Ablation: torus aspect ratio at 32 CPUs.
+
+The paper ships the 32P machine as an 8x4 torus and observes (Figure
+24) that the long dimension carries more load.  Sweeping shapes shows
+the bisection/latency trade the designers made: square-ish shapes beat
+elongated ones under uniform traffic.
+"""
+
+from repro.config import GS1280Config, TorusShape
+from repro.systems import GS1280System
+from repro.workloads.loadtest import run_load_test
+
+
+SHAPES = [TorusShape(8, 4), TorusShape(16, 2)]
+
+
+def saturation_by_shape():
+    out = {}
+    for shape in SHAPES:
+        curve = run_load_test(
+            lambda shape=shape: GS1280System(
+                32, config=GS1280Config.build(32), shape=shape
+            ),
+            outstanding_values=(8, 30),
+            warmup_ns=3000.0,
+            window_ns=8000.0,
+        )
+        out[str(shape)] = curve.saturation_bandwidth_mbps()
+    return out
+
+
+def test_ablation_torus_shape(benchmark):
+    results = benchmark.pedantic(saturation_by_shape, rounds=1, iterations=1)
+    print("\nsaturation bandwidth by 32P shape: "
+          + ", ".join(f"{s}: {b:,.0f} MB/s" for s, b in results.items()))
+    # The squarer torus (more bisection) sustains more uniform traffic.
+    assert results["8x4"] > results["16x2"]

@@ -1,0 +1,24 @@
+"""Event-driven commercial proxies (Figure 28's SAP and DSS bars)."""
+
+from repro.systems import GS320System, GS1280System
+from repro.workloads.oltp import DSS_MIX, OLTP_MIX, run_transactions
+
+
+def run_both():
+    out = {}
+    for mix in (OLTP_MIX, DSS_MIX):
+        g = run_transactions(lambda: GS1280System(16), mix,
+                             warmup_ns=3000.0, window_ns=8000.0)
+        o = run_transactions(lambda: GS320System(16), mix,
+                             warmup_ns=3000.0, window_ns=8000.0)
+        out[mix.name] = g.txn_per_second / o.txn_per_second
+    return out
+
+
+def test_commercial_proxy_ratios(benchmark):
+    ratios = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\n  OLTP (SAP-like) ratio {ratios['oltp']:.2f} (paper ~1.3), "
+          f"DSS ratio {ratios['dss']:.2f} (paper ~1.6)")
+    assert 1.1 <= ratios["oltp"] <= 1.6
+    assert 1.4 <= ratios["dss"] <= 2.2
+    assert ratios["dss"] > ratios["oltp"]

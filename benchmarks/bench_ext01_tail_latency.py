@@ -1,0 +1,15 @@
+"""Extension: tail latency under load -- regenerate and time."""
+
+
+def test_ext01_tail_beats_switch_median(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("ext01",), rounds=1, iterations=1
+    )
+    heavy = max(r[1] for r in result.rows)
+    gs1280_p99 = next(
+        r[5] for r in result.rows if r[0] == "GS1280/16P" and r[1] == heavy
+    )
+    gs320_p50 = next(
+        r[3] for r in result.rows if r[0] == "GS320/16P" and r[1] == heavy
+    )
+    assert gs1280_p99 < gs320_p50

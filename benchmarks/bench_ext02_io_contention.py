@@ -1,0 +1,12 @@
+"""Extension: compute-vs-I/O interference (the paper's future work)."""
+
+
+def test_ext02_private_zboxes_isolate_io(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("ext02",), rounds=1, iterations=1
+    )
+    loss = {r[0]: r[4] for r in result.rows}
+    assert loss["GS1280/16P"] < loss["GS320/16P"]
+    # And the GS1280 still moves more I/O while losing less compute.
+    io = {r[0]: r[3] for r in result.rows}
+    assert io["GS1280/16P"] > io["GS320/16P"]

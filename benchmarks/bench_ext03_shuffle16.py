@@ -1,0 +1,19 @@
+"""Extension: the 16P shuffle the paper never built, measured."""
+
+
+def test_ext03_shuffle16_zero_load_gain(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("ext03",), rounds=1, iterations=1
+    )
+    low = min(r[1] for r in result.rows)
+    torus_lat = next(
+        r[3] for r in result.rows if r[0] == "torus" and r[1] == low
+    )
+    shuffle_lat = next(
+        r[3] for r in result.rows if r[0] == "shuffle" and r[1] == low
+    )
+    # The twisted 4x4 shortens average paths a little at zero load
+    # (Table 1 predicts 6.7%); under saturation the twist concentrates
+    # wraparound traffic and gives the gain back -- a finding the
+    # paper's analytic model cannot see.
+    assert shuffle_lat <= torus_lat * 1.02

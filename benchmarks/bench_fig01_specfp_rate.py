@@ -1,0 +1,9 @@
+"""Figure 1: SPECfp_rate2000 scaling -- regenerate and time the reproduction."""
+
+
+def test_fig01_gs1280_outscales_gs320(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig01",), rounds=1, iterations=1
+    )
+    row16 = next(r for r in result.rows if r[0] == 16)
+    assert row16[1] > 1.5 * row16[3]

@@ -1,0 +1,9 @@
+"""Figure 4: dependent-load latency vs dataset size -- regenerate and time the reproduction."""
+
+
+def test_fig04_memory_plateau_ratio(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig04",), rounds=1, iterations=1
+    )
+    by = {r[0]: r for r in result.rows}
+    assert 3.3 <= by["32m"][3] / by["32m"][1] <= 4.3

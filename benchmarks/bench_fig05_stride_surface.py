@@ -1,0 +1,9 @@
+"""Figure 5: GS1280 latency vs size and stride -- regenerate and time the reproduction."""
+
+
+def test_fig05_open_to_closed_page_rise(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig05",), rounds=1, iterations=1
+    )
+    last = result.rows[-1]
+    assert last[-1] > last[1] * 1.4

@@ -1,0 +1,8 @@
+"""Figure 6: STREAM Triad scaling -- regenerate and time the reproduction."""
+
+
+def test_fig06_gs1280_64p_above_300(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig06",), rounds=1, iterations=1
+    )
+    assert result.rows[-1][1] > 300

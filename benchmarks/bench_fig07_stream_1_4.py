@@ -1,0 +1,10 @@
+"""Figure 7: STREAM Triad, 1 vs 4 CPUs -- regenerate and time the reproduction."""
+
+
+def test_fig07_linear_vs_contended(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig07",), rounds=1, iterations=1
+    )
+    one, four = result.rows
+    assert four[1] / one[1] > 3.9
+    assert four[3] / one[3] < 3.0

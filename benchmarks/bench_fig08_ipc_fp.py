@@ -1,0 +1,9 @@
+"""Figure 8: SPECfp2000 IPC -- regenerate and time the reproduction."""
+
+
+def test_fig08_swim_advantage(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig08",), rounds=1, iterations=1
+    )
+    swim = next(r for r in result.rows if r[0] == "swim")
+    assert swim[1] / swim[3] > 3.2

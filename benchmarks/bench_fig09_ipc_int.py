@@ -1,0 +1,10 @@
+"""Figure 9: SPECint2000 IPC -- regenerate and time the reproduction."""
+
+
+def test_fig09_integer_parity(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig09",), rounds=1, iterations=1
+    )
+    import statistics
+    ratios = [r[1] / r[3] for r in result.rows if r[0] != "mcf"]
+    assert statistics.mean(ratios) < 1.45

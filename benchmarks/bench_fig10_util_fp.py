@@ -1,0 +1,9 @@
+"""Figure 10: fp memory-controller utilization -- regenerate and time the reproduction."""
+
+
+def test_fig10_swim_leads(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig10",), rounds=1, iterations=1
+    )
+    top = max(result.rows, key=lambda r: r[1])
+    assert top[0] == "swim"

@@ -1,0 +1,8 @@
+"""Figure 11: int memory-controller utilization -- regenerate and time the reproduction."""
+
+
+def test_fig11_all_low(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig11",), rounds=1, iterations=1
+    )
+    assert all(r[1] < 10 for r in result.rows)

@@ -1,0 +1,9 @@
+"""Figure 12: local/remote latency, 16P -- regenerate and time the reproduction."""
+
+
+def test_fig12_average_advantage_near_4x(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig12",), rounds=1, iterations=1
+    )
+    avg = result.rows[-1]
+    assert 3.4 <= avg[2] / avg[1] <= 4.6

@@ -1,0 +1,8 @@
+"""Figure 13: 4x4 torus latency map -- regenerate and time the reproduction."""
+
+
+def test_fig13_max_error_under_20ns(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig13",), rounds=1, iterations=1
+    )
+    assert max(abs(r[5]) for r in result.rows) < 20

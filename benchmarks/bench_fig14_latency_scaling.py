@@ -1,0 +1,11 @@
+"""Figure 14: average latency, 4-64 CPUs -- regenerate and time the reproduction."""
+
+
+def test_fig14_gap_holds_at_scale(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig14",), rounds=1, iterations=1
+    )
+    ratios = [r[2] / r[1] for r in result.rows]
+    # The gap widens with machine size and reaches ~4x by 16 CPUs.
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 3.5

@@ -1,0 +1,9 @@
+"""Figure 15: interconnect load test -- regenerate and time the reproduction."""
+
+
+def test_fig15_gs1280_saturation_dominates(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig15",), rounds=1, iterations=1
+    )
+    bw = lambda label: max(r[2] for r in result.rows if r[0] == label)
+    assert bw("GS1280/16P") > 5 * bw("GS320/16P")

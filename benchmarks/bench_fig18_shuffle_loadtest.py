@@ -1,0 +1,9 @@
+"""Figure 18: measured shuffle gains, 8P -- regenerate and time the reproduction."""
+
+
+def test_fig18_shuffle_beats_torus(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig18",), rounds=1, iterations=1
+    )
+    bw = lambda label: max(r[2] for r in result.rows if r[0] == label)
+    assert bw("shuffle") > bw("torus")

@@ -1,0 +1,9 @@
+"""Figure 19: Fluent rating scaling -- regenerate and time the reproduction."""
+
+
+def test_fig19_gs1280_comparable_to_sc45(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig19",), rounds=1, iterations=1
+    )
+    r16 = next(r for r in result.rows if r[0] == 16)
+    assert 0.7 <= r16[1] / r16[2] <= 1.3

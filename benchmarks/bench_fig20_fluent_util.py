@@ -1,0 +1,9 @@
+"""Figure 20: Fluent utilization profile -- regenerate and time the reproduction."""
+
+
+def test_fig20_both_utilizations_low(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig20",), rounds=1, iterations=1
+    )
+    mean = sum(r[1] for r in result.rows) / len(result.rows)
+    assert mean < 15

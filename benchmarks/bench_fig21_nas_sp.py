@@ -1,0 +1,9 @@
+"""Figure 21: NAS SP scaling -- regenerate and time the reproduction."""
+
+
+def test_fig21_substantial_advantage(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig21",), rounds=1, iterations=1
+    )
+    r16 = next(r for r in result.rows if r[0] == 16)
+    assert r16[1] / r16[3] > 2.5

@@ -1,0 +1,8 @@
+"""Figure 22: NAS SP utilization profile -- regenerate and time the reproduction."""
+
+
+def test_fig22_memory_phases_visible(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig22",), rounds=1, iterations=1
+    )
+    assert max(r[1] for r in result.rows) > 15

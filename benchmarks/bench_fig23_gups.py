@@ -1,0 +1,9 @@
+"""Figure 23: GUPS scaling -- regenerate and time the reproduction."""
+
+
+def test_fig23_largest_application_gap(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig23",), rounds=1, iterations=1
+    )
+    r16 = next(r for r in result.rows if r[0] == 16)
+    assert r16[1] / r16[2] > 4

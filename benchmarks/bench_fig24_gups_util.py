@@ -1,0 +1,9 @@
+"""Figure 24: GUPS utilization on 32P -- regenerate and time the reproduction."""
+
+
+def test_fig24_east_west_hotter(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig24",), rounds=1, iterations=1
+    )
+    mean = lambda i: sum(r[i] for r in result.rows) / len(result.rows)
+    assert mean(3) > mean(2)

@@ -1,0 +1,10 @@
+"""Figure 25: degradation from striping -- regenerate and time the reproduction."""
+
+
+def test_fig25_bandwidth_bound_suffer_most(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig25",), rounds=1, iterations=1
+    )
+    table = {r[0]: r[1] for r in result.rows}
+    assert table["swim"] > table["sixtrack"]
+    assert max(table.values()) >= 10

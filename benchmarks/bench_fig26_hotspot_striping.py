@@ -1,0 +1,9 @@
+"""Figure 26: hot-spot improvement from striping -- regenerate and time the reproduction."""
+
+
+def test_fig26_striping_helps_hotspots(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig26",), rounds=1, iterations=1
+    )
+    bw = lambda label: max(r[2] for r in result.rows if r[0] == label)
+    assert bw("striped") > 1.25 * bw("non-striped")

@@ -1,0 +1,8 @@
+"""Figure 27: Xmesh hot-spot display -- regenerate and time the reproduction."""
+
+
+def test_fig27_cpu0_flagged(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig27",), rounds=1, iterations=1
+    )
+    assert [r[0] for r in result.rows if r[2] == "HOT"] == [0]

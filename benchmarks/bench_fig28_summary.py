@@ -1,0 +1,9 @@
+"""Figure 28: GS1280 vs GS320 summary ratios -- regenerate and time the reproduction."""
+
+
+def test_fig28_ranking_preserved(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("fig28",), rounds=1, iterations=1
+    )
+    bars = {r[0]: r[1] for r in result.rows}
+    assert bars["GUPS internal (32P)"] > bars["SPECfp_rate2000 (16P)"] > bars["SPECint_rate2000 (16P)"]

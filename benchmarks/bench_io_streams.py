@@ -1,0 +1,20 @@
+"""Simulated aggregate I/O bandwidth (Figure 28's I/O bar, measured
+on the fabric rather than the closed-form model)."""
+
+from repro.systems import GS320System, GS1280System
+from repro.workloads.iostream import run_io_streams
+
+
+def run_both():
+    gs1280 = run_io_streams(lambda: GS1280System(16), window_ns=8000.0)
+    gs320 = run_io_streams(lambda: GS320System(16), window_ns=8000.0)
+    return gs1280, gs320
+
+
+def test_io_bandwidth_gap(benchmark):
+    gs1280, gs320 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    ratio = gs1280.bandwidth_gbps / gs320.bandwidth_gbps
+    print(f"\n  GS1280 {gs1280.bandwidth_gbps:.1f} GB/s "
+          f"({gs1280.n_hoses} hoses) vs GS320 {gs320.bandwidth_gbps:.1f} "
+          f"GB/s ({gs320.n_hoses} risers): {ratio:.1f}x (paper: ~8x @32P)")
+    assert 3.0 <= ratio <= 6.0  # 16 hoses vs 4 risers at 16P

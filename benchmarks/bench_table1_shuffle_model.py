@@ -1,0 +1,9 @@
+"""Table 1: analytic shuffle gains -- regenerate and time the reproduction."""
+
+
+def test_tab01_hardware_shapes_exact(benchmark, figure):
+    result = benchmark.pedantic(
+        figure, args=("tab01",), rounds=1, iterations=1
+    )
+    exact = {r[0]: r[7] for r in result.rows}
+    assert exact["4x2"] == "yes" and exact["4x4"] == "yes"

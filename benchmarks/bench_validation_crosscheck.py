@@ -1,0 +1,16 @@
+"""Cross-fidelity validation as a timed bench: the analytic and
+event-driven layers must agree wherever they overlap."""
+
+from repro.analysis.validation import validation_report
+
+
+def test_validation_crosscheck(benchmark):
+    rows = benchmark.pedantic(
+        lambda: validation_report(fast=True), rounds=1, iterations=1
+    )
+    print()
+    for row in rows:
+        print(f"  {row.quantity:>32} {row.machine:>8} "
+              f"analytic {row.analytic:8.2f}  simulated {row.simulated:8.2f} "
+              f"({row.error_pct:+.1f}%) [{row.unit}]")
+    assert max(abs(r.error_pct) for r in rows) < 25.0

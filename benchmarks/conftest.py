@@ -1,0 +1,32 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper through
+``pytest-benchmark`` (timing the reproduction) and prints the
+regenerated rows; run with ``-s`` to see them, e.g.::
+
+    pytest benchmarks/bench_fig13_latency_map.py --benchmark-only -s
+
+Set ``GS1280_FULL=1`` to run the full-fidelity (slow) versions.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.base import format_result
+from repro.experiments.registry import run_experiment
+
+FULL = bool(int(os.environ.get("GS1280_FULL", "0")))
+
+
+@pytest.fixture
+def figure():
+    """Returns a runner: figure('fig13') -> prints and returns result."""
+
+    def _run(exp_id: str, seed: int = 0):
+        result = run_experiment(exp_id, fast=not FULL, seed=seed)
+        print()
+        print(format_result(result, max_rows=40))
+        return result
+
+    return _run

@@ -1,0 +1,73 @@
+"""Using the library the way a performance engineer would: characterize
+*your own* workload and ask which machine generation runs it best.
+
+You supply the same quantities the paper's hardware counters produce --
+core CPI, L2 access rate, off-chip miss rate vs cache size, memory
+parallelism -- and the models answer with IPC, memory-controller
+occupancy, and throughput scaling on each machine.
+
+Run::
+
+    python examples/capacity_planning.py
+"""
+
+from repro.analysis.rates import per_copy_performance
+from repro.config import ES45Config, GS320Config, GS1280Config
+from repro.cpu import BenchmarkCharacter, IpcModel
+
+# A hypothetical in-house CFD kernel, characterized from profiling: it
+# streams large meshes (high miss rate, good page locality), with decent
+# prefetch overlap.
+MY_WORKLOAD = BenchmarkCharacter(
+    name="inhouse-cfd",
+    suite="fp",
+    cpi_core=0.7,
+    l2_apki=30,
+    mpki_anchors={1.75: 35.0, 8.0: 12.0, 16.0: 6.0},
+    overlap=6.0,
+    writeback_fraction=0.4,
+    page_locality=0.8,
+)
+
+MACHINES = [
+    ("GS1280/1.15GHz", GS1280Config.build(16)),
+    ("ES45/1.25GHz", ES45Config.build(4)),
+    ("GS320/1.22GHz", GS320Config.build(16)),
+]
+
+
+def main() -> None:
+    print(f"Workload: {MY_WORKLOAD.name} "
+          f"(mpki@1.75MB={MY_WORKLOAD.mpki(1.75)}, "
+          f"mpki@16MB={MY_WORKLOAD.mpki(16.0)})\n")
+
+    print("Single-copy performance:")
+    print(f"{'machine':>16} {'IPC':>6} {'perf (GHz x IPC)':>17} "
+          f"{'Zbox util %':>12}")
+    for label, machine in MACHINES:
+        result = IpcModel(machine).evaluate(MY_WORKLOAD)
+        perf = result.ipc * machine.clock_ghz
+        print(f"{label:>16} {result.ipc:>6.2f} {perf:>17.2f} "
+              f"{result.memory_utilization_pct:>12.1f}")
+
+    print("\nThroughput (N copies, machine-appropriate sharing):")
+    print(f"{'machine':>16} {'1 copy':>8} {'4 copies':>9} {'16 copies':>10}")
+    for label, machine in MACHINES:
+        row = []
+        for n in (1, 4, 16):
+            if n > machine.n_cpus:
+                row.append("    -")
+                continue
+            perf = per_copy_performance(machine, MY_WORKLOAD, n)
+            row.append(f"{n * perf:8.2f}")
+        print(f"{label:>16} " + " ".join(f"{v:>9}" for v in row))
+
+    print(
+        "\nReading: the kernel misses the GS1280's 1.75MB L2 hard but its"
+        "\nper-CPU Zboxes keep throughput scaling linear; the 16MB caches"
+        "\nhelp single copies on the older machines until copies contend."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Defining your own machine (the paper's other future work: "extend
+our analysis to non-Alpha based large-scale multiprocessor platforms").
+
+Every model in the library is parameterized by the config dataclasses,
+so a hypothetical next-generation design drops straight into the same
+experiments.  Here we sketch "EV8-class" hardware -- double the clock,
+a 3.5 MB L2, faster RDRAM, fatter links -- and re-run the paper's
+latency map and load test against the real GS1280.
+
+Run::
+
+    python examples/custom_machine.py
+"""
+
+import dataclasses
+
+from repro.analysis.latency import latency_map
+from repro.config import CacheConfig, GS1280Config, MemoryConfig, RouterConfig
+from repro.systems import GS1280System
+from repro.workloads.loadtest import run_load_test
+
+
+def build_ev8_class(n_cpus: int = 16) -> GS1280Config:
+    """A speculative successor: same architecture, better everything."""
+    base = GS1280Config.build(n_cpus)
+    return dataclasses.replace(
+        base,
+        name="EV8-class",
+        clock_ghz=2.0,
+        l1=dataclasses.replace(base.l1, load_to_use_ns=1.5),
+        l2=CacheConfig(
+            size_bytes=int(3.5 * 1024 * 1024),
+            associativity=8,
+            line_bytes=64,
+            load_to_use_ns=6.0,
+            on_chip=True,
+        ),
+        memory=MemoryConfig(
+            peak_bw_gbps=25.0,
+            open_page_ns=35.0,
+            closed_page_extra_ns=35.0,
+            max_open_pages=4096,
+            page_bytes=4096,
+            channels=16,
+            stream_efficiency=0.5,
+        ),
+        request_launch_ns=15.0,
+        fill_ns=5.0,
+        link_bw_gbps=6.2,
+        router=RouterConfig(pipeline_ns=6.0,
+                            congestion_penalty_ns_per_queued_packet=2.0),
+        mlp=32,
+        stream_mlp=32,
+    )
+
+
+def main() -> None:
+    ev8 = build_ev8_class(16)
+    print(f"hypothetical {ev8.name}: local latency "
+          f"{ev8.local_memory_latency_ns:.0f} ns "
+          f"(GS1280: {GS1280Config.build(16).local_memory_latency_ns:.0f} ns)\n")
+
+    print("16P latency maps (node 0 to all, ns):")
+    gs1280 = latency_map(lambda: GS1280System(16), 16)
+    custom = latency_map(
+        lambda: GS1280System(16, config=build_ev8_class(16)), 16
+    )
+    print(f"{'node':>5} {'GS1280':>8} {ev8.name:>10}")
+    for node in range(16):
+        print(f"{node:>5} {gs1280[node]:>8.1f} {custom[node]:>10.1f}")
+
+    print("\nload test at 30 outstanding:")
+    for label, factory in (
+        ("GS1280", lambda: GS1280System(16)),
+        (ev8.name, lambda: GS1280System(16, config=build_ev8_class(16))),
+    ):
+        curve = run_load_test(factory, (30,), warmup_ns=3000.0,
+                              window_ns=8000.0)
+        point = curve.points[0]
+        print(f"  {label:>10}: {point.bandwidth_mbps:,.0f} MB/s at "
+              f"{point.latency_ns:.0f} ns")
+
+
+if __name__ == "__main__":
+    main()

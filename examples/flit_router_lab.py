@@ -1,0 +1,81 @@
+"""A lab tour of the flit-level 21364 router reference model.
+
+Shows the mechanisms Section 2 of the paper describes, one at a time:
+minimal adaptive routing spreading load, the escape network's dateline
+discipline surviving ring pressure with 2-flit buffers, and Response
+packets overtaking a wall of Requests.
+
+Run::
+
+    python examples/flit_router_lab.py
+"""
+
+import numpy as np
+
+from repro.config import TorusShape
+from repro.network import MessageClass
+from repro.network.detailed import DetailedTorusNetwork, FlitMessage
+
+
+def zero_load() -> None:
+    print("1. Zero-load latency grows linearly with hop count:")
+    for dst, hops in ((1, 1), (2, 2), (6, 3), (10, 4)):
+        network = DetailedTorusNetwork(TorusShape(4, 4))
+        msg = FlitMessage(0, dst, MessageClass.REQUEST)
+        network.inject(msg)
+        network.run()
+        print(f"   0 -> {dst:2d} ({hops} hops): {msg.latency_cycles} cycles")
+
+
+def ring_pressure() -> None:
+    print("\n2. Ring pressure with 2-flit buffers (the intra-dimension")
+    print("   deadlock scenario VC0/VC1's dateline breaks):")
+    network = DetailedTorusNetwork(TorusShape(8, 1), buffer_flits=2,
+                                   adaptive=False)
+    for src in range(8):
+        for _ in range(6):
+            network.inject(
+                FlitMessage(src, (src + 4) % 8, MessageClass.RESPONSE)
+            )
+    network.run(max_cycles=50_000)
+    print(f"   48 max-distance messages drained in {network.cycle} cycles "
+          f"({network.flits_moved} flit moves), no deadlock")
+
+
+def adaptivity() -> None:
+    print("\n3. Adaptive vs escape-only routing under a random burst:")
+    for adaptive in (True, False):
+        rng = np.random.default_rng(7)
+        network = DetailedTorusNetwork(TorusShape(4, 4), buffer_flits=4,
+                                       adaptive=adaptive)
+        for _ in range(150):
+            src, dst = rng.integers(0, 16, size=2)
+            while dst == src:
+                dst = rng.integers(0, 16)
+            network.inject(
+                FlitMessage(int(src), int(dst), MessageClass.RESPONSE)
+            )
+        network.run(max_cycles=100_000)
+        label = "adaptive " if adaptive else "escape-only"
+        print(f"   {label}: drained in {network.cycle} cycles, "
+              f"mean latency {network.mean_latency_cycles():.0f} cycles")
+
+
+def priority() -> None:
+    print("\n4. A Response overtakes a wall of Requests (class priority):")
+    network = DetailedTorusNetwork(TorusShape(4, 1), buffer_flits=2)
+    for _ in range(30):
+        network.inject(FlitMessage(0, 2, MessageClass.REQUEST))
+    response = FlitMessage(0, 2, MessageClass.RESPONSE)
+    network.inject(response)
+    network.run(max_cycles=50_000)
+    position = [m.msg_id for m in network.delivered].index(response.msg_id)
+    print(f"   the response, injected last of 31, arrived in position "
+          f"{position + 1}")
+
+
+if __name__ == "__main__":
+    zero_load()
+    ring_pressure()
+    adaptivity()
+    priority()

@@ -1,0 +1,59 @@
+"""GUPS across machine generations (the paper's Figure 23 scenario).
+
+Random table updates span every CPU's memory, so almost all traffic is
+remote read-modify-write plus victim writebacks -- the heaviest
+interprocessor load of any workload in the paper.  This example sweeps
+CPU counts on the GS1280 and GS320 and prints the update rates and the
+per-direction link utilizations on the rectangular 32P torus.
+
+Run::
+
+    python examples/gups_scaling.py [--full]
+"""
+
+import sys
+
+from repro.cpu import LoadGenerator
+from repro.sim import RngFactory
+from repro.systems import GS320System, GS1280System
+from repro.workloads.gups import make_gups_picker, run_gups
+from repro.xmesh import XmeshMonitor
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    counts = [4, 8, 16, 32, 64] if full else [4, 8, 16, 32]
+    window = 12000.0 if full else 6000.0
+
+    print(f"{'cpus':>5} {'GS1280 Mup/s':>13} {'GS320 Mup/s':>12} {'ratio':>7}")
+    for n in counts:
+        gs1280 = run_gups(lambda n=n: GS1280System(n), window_ns=window)
+        if n <= 32:
+            gs320 = run_gups(lambda n=n: GS320System(n), window_ns=window)
+            ratio = f"{gs1280.mups / gs320.mups:6.1f}x"
+            gs320_str = f"{gs320.mups:12.0f}"
+        else:
+            gs320_str, ratio = " " * 12, " " * 7
+        print(f"{n:>5} {gs1280.mups:>13.0f} {gs320_str} {ratio}")
+
+    # Per-direction link utilization on the 8x4 torus (Figure 24).
+    print("\nLink utilization by direction on the 32P (8x4) GS1280:")
+    system = GS1280System(32)
+    rng = RngFactory(0)
+    for cpu in range(32):
+        LoadGenerator(
+            system.sim, system.agent(cpu),
+            make_gups_picker(rng, cpu, 32), outstanding=8, op="update",
+        ).start()
+    system.run(until_ns=2000.0)
+    monitor = XmeshMonitor(system, interval_ns=1000.0)
+    monitor.start()
+    system.run(until_ns=2000.0 + window)
+    for direction, util in sorted(monitor.mean_direction_utilization().items()):
+        print(f"  {direction}: {util * 100:5.1f}%")
+    print("(East/West -- the long dimension -- runs hotter, as the paper's"
+          " Xmesh showed.)")
+
+
+if __name__ == "__main__":
+    main()

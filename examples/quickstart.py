@@ -1,0 +1,68 @@
+"""Quickstart: build a 16-CPU GS1280, measure its latency map, and
+watch the interconnect under load.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis.latency import PAPER_FIG13_MAP, latency_map
+from repro.systems import GS1280System
+from repro.workloads.loadtest import run_load_test
+from repro.xmesh import render_mesh
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Zero-load remote latency: the Figure 13 map.
+    # ------------------------------------------------------------------
+    print("Measuring the 16P latency map (warm dependent reads from CPU 0)...")
+    model = latency_map(lambda: GS1280System(16), 16)
+    print(f"{'node':>5} {'model ns':>9} {'paper ns':>9}")
+    for node, (m, p) in enumerate(zip(model, PAPER_FIG13_MAP)):
+        print(f"{node:>5} {m:>9.1f} {p:>9}")
+    print(f"average: {sum(model) / 16:.1f} ns "
+          f"(paper: {sum(PAPER_FIG13_MAP) / 16:.1f} ns)\n")
+
+    # ------------------------------------------------------------------
+    # 2. The interconnect load test (Figure 15): every CPU reads from
+    #    random other CPUs with growing numbers of outstanding loads.
+    # ------------------------------------------------------------------
+    print("Running the interconnect load test on a 16P GS1280...")
+    curve = run_load_test(
+        lambda: GS1280System(16),
+        outstanding_values=(1, 4, 8, 16, 30),
+        warmup_ns=3000.0,
+        window_ns=8000.0,
+    )
+    print(f"{'outstanding':>11} {'bandwidth MB/s':>15} {'latency ns':>11}")
+    for p in curve.points:
+        print(f"{p.outstanding:>11} {p.bandwidth_mbps:>15,.0f} "
+              f"{p.latency_ns:>11.0f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Peek at the machine with Xmesh: Zbox occupancy per node after
+    #    a short uniform-traffic run.
+    # ------------------------------------------------------------------
+    from repro.cpu import LoadGenerator
+    from repro.sim import RngFactory
+    from repro.workloads.loadtest import make_random_remote_picker
+    from repro.xmesh import XmeshMonitor
+
+    system = GS1280System(16)
+    rng = RngFactory(0)
+    for cpu in range(16):
+        LoadGenerator(
+            system.sim, system.agent(cpu),
+            make_random_remote_picker(rng, cpu, 16), outstanding=8,
+        ).start()
+    monitor = XmeshMonitor(system, interval_ns=1000.0)
+    monitor.start()
+    system.run(until_ns=8000.0)
+    print(render_mesh(system.shape, monitor.mean_zbox_utilization(),
+                      monitor.detect_hotspots(), title="Xmesh"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""The shuffle re-cabling study (Section 4.1, Table 1 + Figure 18).
+
+First the analytic side: graph metrics of torus vs shuffle for every
+Table 1 shape.  Then the measured side: the interconnect load test on
+an 8-CPU machine with standard cabling, 1-hop shuffle routing, and
+2-hop shuffle routing.
+
+Run::
+
+    python examples/shuffle_study.py
+"""
+
+from repro.analysis.shuffle import PAPER_TABLE1, table1
+from repro.systems import GS1280System
+from repro.workloads.loadtest import run_load_test
+
+
+def main() -> None:
+    print("Analytic gains (torus/shuffle ratios; >1 favors shuffle):")
+    print(f"{'shape':>7} {'avg':>7} {'worst':>7} {'bisect':>7}   paper row")
+    for gains in table1():
+        paper = PAPER_TABLE1[str(gains.shape)]
+        marker = "(exact)" if gains.exact_vs_paper else "(conservative)"
+        print(
+            f"{str(gains.shape):>7} {gains.avg_latency_gain:>7.3f} "
+            f"{gains.worst_latency_gain:>7.3f} {gains.bisection_gain:>7.3f}"
+            f"   {paper}  {marker}"
+        )
+
+    print("\nMeasured on the simulated 8P machine (load test):")
+    variants = [
+        ("torus", dict(shuffle=False)),
+        ("shuffle (1-hop)", dict(shuffle=True, max_shuffle_hops=1)),
+        ("shuffle (2-hop)", dict(shuffle=True, max_shuffle_hops=2)),
+    ]
+    results = {}
+    for label, kwargs in variants:
+        curve = run_load_test(
+            lambda kwargs=kwargs: GS1280System(8, **kwargs),
+            outstanding_values=(1, 4, 8, 16, 30),
+            warmup_ns=3000.0,
+            window_ns=8000.0,
+        )
+        results[label] = curve
+        points = "  ".join(
+            f"{p.bandwidth_mbps:,.0f}MB/s@{p.latency_ns:.0f}ns"
+            for p in curve.points
+        )
+        print(f"  {label:>16}: {points}")
+
+    base = results["torus"].saturation_bandwidth_mbps()
+    for label in ("shuffle (1-hop)", "shuffle (2-hop)"):
+        gain = results[label].saturation_bandwidth_mbps() / base - 1
+        print(f"  {label} saturation gain vs torus: {gain * 100:+.1f}% "
+              "(paper: 5-25% for 1-hop, +2-5% more for 2-hop)")
+
+
+if __name__ == "__main__":
+    main()

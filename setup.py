@@ -1,0 +1,6 @@
+"""Legacy shim: this environment lacks the `wheel` package, so editable
+installs fall back to `python setup.py develop`.  All metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Analytic models: shuffle graph gains, zero-load latency surveys,
+SPEC rate scaling, striping impact, I/O bandwidth, and the Figure 28
+summary ratios."""
+
+from repro.analysis.diversity import DiversityStats, path_diversity
+from repro.analysis.io import sustained_io_bandwidth_gbps
+from repro.analysis.latency import (
+    PAPER_FIG13_MAP,
+    average_latency,
+    average_read_dirty_latency,
+    latency_map,
+    latency_scaling,
+    read_dirty_latency,
+    warm_read_latency,
+)
+from repro.analysis.rates import (
+    FP_RATE_ANCHOR,
+    per_copy_performance,
+    rate_scaling_curve,
+    spec_rate,
+    striped_performance,
+    striping_degradation,
+)
+from repro.analysis.shuffle import (
+    PAPER_TABLE1,
+    TABLE1_SHAPES,
+    ShuffleGains,
+    shuffle_gains,
+    table1,
+)
+from repro.analysis.summary import (
+    APP_MIXES,
+    COMMERCIAL_PROXIES,
+    SummaryEntry,
+    SummaryModel,
+)
+from repro.analysis.svgchart import CHART_SPECS, SvgChart, chart_from_result
+from repro.analysis.validation import ValidationRow, validation_report
+
+__all__ = [
+    "APP_MIXES",
+    "CHART_SPECS",
+    "COMMERCIAL_PROXIES",
+    "DiversityStats",
+    "FP_RATE_ANCHOR",
+    "PAPER_FIG13_MAP",
+    "PAPER_TABLE1",
+    "ShuffleGains",
+    "SummaryEntry",
+    "SummaryModel",
+    "SvgChart",
+    "TABLE1_SHAPES",
+    "ValidationRow",
+    "average_latency",
+    "average_read_dirty_latency",
+    "chart_from_result",
+    "latency_map",
+    "path_diversity",
+    "latency_scaling",
+    "per_copy_performance",
+    "rate_scaling_curve",
+    "read_dirty_latency",
+    "shuffle_gains",
+    "spec_rate",
+    "striped_performance",
+    "striping_degradation",
+    "sustained_io_bandwidth_gbps",
+    "table1",
+    "validation_report",
+    "warm_read_latency",
+]

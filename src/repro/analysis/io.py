@@ -1,0 +1,27 @@
+"""I/O subsystem bandwidth model (Figure 28's I/O ratio).
+
+Each EV7 carries a full-duplex 3.1 GB/s link to its own IO7 chip, so
+aggregate I/O bandwidth on the GS1280 grows with CPU count; sustained
+throughput per hose is limited by the PCI trees behind the IO7
+(~0.75 GB/s).  The GS320 shares a small number of I/O risers across the
+whole machine, which is why the paper reports an ~8x gap at 32P.
+"""
+
+from __future__ import annotations
+
+from repro.config import GS1280Config, MachineConfig
+
+__all__ = ["SUSTAINED_PER_HOSE_GBPS", "sustained_io_bandwidth_gbps"]
+
+#: PCI-limited sustained throughput behind one hose/riser.
+SUSTAINED_PER_HOSE_GBPS = 0.75
+
+
+def sustained_io_bandwidth_gbps(machine: MachineConfig, n_cpus: int) -> float:
+    """Aggregate sustained I/O bandwidth with ``n_cpus`` populated."""
+    if isinstance(machine, GS1280Config):
+        hoses = n_cpus * machine.io_hoses  # one IO7 per CPU
+    else:
+        hoses = machine.io_hoses  # shared risers, CPU-count independent
+    per_hose = min(SUSTAINED_PER_HOSE_GBPS, machine.io_bw_per_hose_gbps)
+    return hoses * per_hose

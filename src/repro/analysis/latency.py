@@ -1,0 +1,131 @@
+"""Zero-load latency maps and scaling (Figures 12, 13, 14).
+
+All numbers come from the event-driven machine models: a warm
+dependent read is issued from CPU 0 to every possible home node on an
+otherwise idle machine, exactly like the paper's lmbench-derived
+remote-latency measurements.  Read-Dirty latencies additionally stage
+the line as Exclusive in a third node's cache first, so the measured
+path is Request -> home directory -> Forward -> owner -> Response.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import torus_shape_for
+from repro.systems import GS320System, GS1280System
+from repro.systems.base import SystemBase
+
+__all__ = [
+    "warm_read_latency",
+    "latency_map",
+    "average_latency",
+    "read_dirty_latency",
+    "average_read_dirty_latency",
+    "latency_scaling",
+    "PAPER_FIG13_MAP",
+]
+
+#: Figure 13's measured 16P map (ns), row-major, node 0 top-left.
+PAPER_FIG13_MAP = [
+    83, 145, 186, 154,
+    139, 175, 221, 182,
+    181, 221, 259, 222,
+    154, 191, 235, 195,
+]
+
+
+def warm_read_latency(
+    system_factory: Callable[[], SystemBase],
+    home: int,
+    cpu: int = 0,
+    address: int = 0,
+) -> float:
+    """Latency of a warm (open-page) read from ``cpu`` to ``home``."""
+    system = system_factory()
+    out: dict[str, float] = {}
+    state = {"n": 0}
+
+    def on_complete(txn) -> None:
+        state["n"] += 1
+        out["latency"] = txn.latency_ns
+        if state["n"] < 2:  # first access warms the DRAM page
+            system.agent(cpu).read(address, on_complete, home=home)
+
+    system.agent(cpu).read(address, on_complete, home=home)
+    system.run()
+    return out["latency"]
+
+
+def latency_map(system_factory: Callable[[], SystemBase],
+                n_nodes: int) -> list[float]:
+    """Warm read latency from CPU 0 to every node (Figure 13)."""
+    return [warm_read_latency(system_factory, home) for home in range(n_nodes)]
+
+
+def average_latency(system_factory: Callable[[], SystemBase],
+                    n_nodes: int) -> float:
+    """Mean over all destinations, local included (Figures 12/14)."""
+    values = latency_map(system_factory, n_nodes)
+    return sum(values) / len(values)
+
+
+def read_dirty_latency(
+    system_factory: Callable[[], SystemBase],
+    owner: int,
+    home: int,
+    cpu: int = 0,
+    address: int = 64 * 777,
+) -> float:
+    """Latency of a read that hits a dirty line in ``owner``'s cache."""
+    system = system_factory()
+    out: dict[str, float] = {}
+
+    def after_ownership(_txn) -> None:
+        system.agent(cpu).read(
+            address,
+            lambda txn: out.__setitem__("latency", txn.latency_ns),
+            home=home,
+        )
+
+    system.agent(owner).read_mod(address, after_ownership, home=home)
+    system.run()
+    return out["latency"]
+
+
+def average_read_dirty_latency(
+    system_factory: Callable[[], SystemBase],
+    n_nodes: int,
+    samples: int = 12,
+) -> float:
+    """Mean Read-Dirty latency over spread (owner, home) pairs."""
+    total = 0.0
+    count = 0
+    for i in range(samples):
+        owner = (3 + 5 * i) % n_nodes
+        home = (7 + 3 * i) % n_nodes
+        if owner in (0, home) or home == 0:
+            owner, home = (owner + 1) % n_nodes, (home + 2) % n_nodes
+        if owner in (0, home) or home == 0:
+            continue
+        total += read_dirty_latency(system_factory, owner, home)
+        count += 1
+    return total / count
+
+
+def latency_scaling(
+    cpu_counts: list[int] | None = None,
+) -> list[tuple[int, float, float]]:
+    """(n_cpus, GS1280 ns, GS320 ns) average-latency rows (Figure 14).
+
+    GS320 tops out at 32 CPUs; larger counts reuse its 32P average (the
+    paper likewise extends the comparison line).
+    """
+    counts = cpu_counts or [4, 8, 16, 32, 64]
+    rows = []
+    for n in counts:
+        gs1280 = average_latency(lambda n=n: GS1280System(n), n)
+        n320 = min(n, 32)
+        gs320 = average_latency(lambda n=n320: GS320System(n320), n320)
+        rows.append((n, gs1280, gs320))
+    return rows

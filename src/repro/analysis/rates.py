@@ -1,0 +1,166 @@
+"""SPEC rate (throughput) scaling and the memory-striping study
+(Figures 1 and 25).
+
+A rate run executes N independent copies of a benchmark, one per CPU.
+On the GS1280 each copy owns a private memory system, so scaling is
+essentially linear; on ES45/GS320 the four copies of a box/QBB split
+its memory bandwidth, which is what bends those curves (and why the
+floating-point rate -- the memory-hungry suite -- separates the
+machines so dramatically in Figure 1).
+
+Striping (Section 6) makes half of each copy's "local" lines remote to
+the module partner: the average miss pays the one-hop penalty and the
+pair's module link becomes a bandwidth ceiling.  The resulting
+per-benchmark slowdown is Figure 25.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import (
+    CACHE_LINE_BYTES,
+    DATA_RESPONSE_BYTES,
+    ES45Config,
+    GS320Config,
+    GS1280Config,
+    MachineConfig,
+    SC45Config,
+)
+from repro.cpu import BenchmarkCharacter, IpcModel
+from repro.workloads.spec import SPECFP2000, SPECINT2000
+
+__all__ = [
+    "rate_share_fraction",
+    "per_copy_performance",
+    "spec_rate",
+    "rate_scaling_curve",
+    "striped_performance",
+    "striping_degradation",
+    "FP_RATE_ANCHOR",
+]
+
+#: Published GS1280 16P SPECfp_rate2000 peak (March 2003) used to anchor
+#: the model's arbitrary rate units to the figure's axis.
+FP_RATE_ANCHOR = (16, 251.0)
+
+
+#: Multi-stream efficiency of the shared memory systems under N
+#: concurrent rate copies: the ES45 crossbar overlaps four independent
+#: streams slightly better than one stream's sustained rate suggests;
+#: the GS320's switch arbitration loses ground instead.
+RATE_SHARING_EFFICIENCY = {"ES45": 1.15, "SC45": 1.15, "GS320": 0.80}
+
+
+def rate_share_fraction(machine: MachineConfig, n_cpus: int) -> float:
+    """Memory-bandwidth share of one copy in an N-copy rate run."""
+    if isinstance(machine, GS1280Config):
+        return 1.0
+    if isinstance(machine, GS320Config):
+        sharing = min(n_cpus, machine.cpus_per_qbb)
+    elif isinstance(machine, (ES45Config, SC45Config)):
+        sharing = min(n_cpus, 4)
+    else:
+        sharing = n_cpus
+    efficiency = RATE_SHARING_EFFICIENCY.get(machine.name, 1.0)
+    return efficiency / max(1, sharing)
+
+
+def per_copy_performance(
+    machine: MachineConfig, character: BenchmarkCharacter, n_cpus: int
+) -> float:
+    """One copy's performance (instructions/ns) under rate sharing."""
+    model = IpcModel(machine, bw_share_fraction=rate_share_fraction(machine, n_cpus))
+    return model.evaluate(character).ipc * machine.clock_ghz
+
+
+def spec_rate(machine: MachineConfig, n_cpus: int, suite: str = "fp") -> float:
+    """Modelled SPEC rate, anchored to the published GS1280 16P value."""
+    benchmarks = SPECFP2000 if suite == "fp" else SPECINT2000
+    perf = [
+        per_copy_performance(machine, b.character, n_cpus) for b in benchmarks
+    ]
+    geomean = math.exp(sum(math.log(p) for p in perf) / len(perf))
+    anchor_n, anchor_rate = FP_RATE_ANCHOR
+    gs1280 = GS1280Config.build(anchor_n)
+    anchor_benchmarks = SPECFP2000
+    anchor_perf = [
+        per_copy_performance(gs1280, b.character, anchor_n)
+        for b in anchor_benchmarks
+    ]
+    anchor_geomean = math.exp(
+        sum(math.log(p) for p in anchor_perf) / len(anchor_perf)
+    )
+    unit = anchor_rate / (anchor_n * anchor_geomean)
+    return n_cpus * geomean * unit
+
+
+def rate_scaling_curve(
+    machine: MachineConfig, cpu_counts: list[int], suite: str = "fp"
+) -> list[tuple[int, float]]:
+    """(n_cpus, rate) series -- one Figure 1 line."""
+    return [(n, spec_rate(machine, n, suite)) for n in cpu_counts]
+
+
+# ---------------------------------------------------------------------------
+# striping (Figure 25)
+# ---------------------------------------------------------------------------
+#: Queueing/arbitration inflation on the module link when both CPUs of
+#: a striped pair push half their fill traffic (plus victims) over it.
+STRIPE_LINK_CONTENTION = 1.35
+
+
+def _one_hop_extra_ns(machine: GS1280Config) -> float:
+    """Extra latency of a module-partner access vs a local one."""
+    wire = machine.wire_ns["module"]
+    router = machine.router.pipeline_ns
+    serialization = (16 + DATA_RESPONSE_BYTES) / machine.link_bw_gbps
+    return 2 * (router + wire) + serialization
+
+
+def striped_performance(
+    machine: GS1280Config, character: BenchmarkCharacter, n_cpus: int = 16
+) -> float:
+    """Per-copy performance with two-CPU striping enabled.
+
+    Half the misses cross to the module partner (one-hop latency) and
+    the pair's module link carries half of *both* CPUs' fill traffic.
+    """
+    model = IpcModel(machine, bw_share_fraction=rate_share_fraction(machine, n_cpus))
+    base = model.memory_latency_ns(character)
+    latency = base + 0.5 * _one_hop_extra_ns(machine)
+    cycle = machine.cycle_ns
+    latency_term = (latency / cycle) / max(character.overlap, 1.0)
+
+    line_traffic = CACHE_LINE_BYTES * (1.0 + character.writeback_fraction)
+    zbox_cycles = (line_traffic / machine.memory.sustained_stream_bw_gbps) / cycle
+    # Module-link ceiling: each direction moves half of one CPU's fills
+    # (with response-header overhead) on a 3.1 GB/s wire, *interleaved
+    # with* the partner's requests and victim writebacks -- the shared
+    # wire runs at queueing-degraded efficiency, not back-to-back.
+    link_traffic = 0.5 * line_traffic * (DATA_RESPONSE_BYTES / CACHE_LINE_BYTES)
+    link_cycles = (link_traffic / machine.link_bw_gbps) / cycle
+    link_cycles *= STRIPE_LINK_CONTENTION
+    miss_cycles = max(latency_term, zbox_cycles, link_cycles)
+
+    mpki = character.mpki(machine.l2.size_mb)
+    cpi = (
+        character.cpi_core
+        + character.l2_apki / 1000.0 * (machine.l2.load_to_use_ns / cycle)
+        + mpki / 1000.0 * miss_cycles
+    )
+    return (1.0 / cpi) * machine.clock_ghz
+
+
+def striping_degradation(
+    machine: GS1280Config | None = None, n_cpus: int = 16
+) -> list[tuple[str, float]]:
+    """(benchmark, slowdown fraction) over SPECfp2000 -- Figure 25."""
+    machine = machine or GS1280Config.build(n_cpus)
+    rows = []
+    for bench in SPECFP2000:
+        base = per_copy_performance(machine, bench.character, n_cpus)
+        striped = striped_performance(machine, bench.character, n_cpus)
+        rows.append((bench.name, max(0.0, 1.0 - striped / base)))
+    return rows

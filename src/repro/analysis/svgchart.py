@@ -1,0 +1,269 @@
+"""Dependency-free SVG line charts for the reproduced figures.
+
+The experiments return tabular series; this module turns them into
+paper-style line charts (SVG 1.1, no external libraries) so
+``gs1280-repro chart fig15 -o fig15.svg`` literally regenerates the
+figure.  ``CHART_SPECS`` maps each chartable experiment to its axes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["SvgChart", "CHART_SPECS", "chart_from_result"]
+
+PALETTE = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#17becf", "#7f7f7f",
+]
+
+
+@dataclass
+class _Series:
+    label: str
+    xs: list[float]
+    ys: list[float]
+    color: str
+
+
+@dataclass
+class SvgChart:
+    """A minimal line chart: axes, ticks, legend, polyline series."""
+
+    title: str = ""
+    xlabel: str = ""
+    ylabel: str = ""
+    width: int = 680
+    height: int = 440
+    log_x: bool = False
+    _series: list[_Series] = field(default_factory=list)
+
+    MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 40, 55
+
+    def add_series(self, label: str, xs, ys, color: str | None = None) -> None:
+        if len(xs) != len(ys) or not xs:
+            raise ValueError("series needs matching non-empty x/y")
+        color = color or PALETTE[len(self._series) % len(PALETTE)]
+        self._series.append(
+            _Series(label, [float(x) for x in xs], [float(y) for y in ys],
+                    color)
+        )
+
+    # ------------------------------------------------------------------
+    def _x_transform(self, value: float) -> float:
+        return math.log10(value) if self.log_x else value
+
+    def _bounds(self):
+        xs = [self._x_transform(x) for s in self._series for x in s.xs]
+        ys = [y for s in self._series for y in s.ys]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(0.0, min(ys)), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _ticks(self, lo: float, hi: float, n: int = 5) -> list[float]:
+        span = hi - lo
+        step = 10 ** math.floor(math.log10(span / n))
+        for mult in (1, 2, 5, 10):
+            if span / (step * mult) <= n:
+                step *= mult
+                break
+        first = math.ceil(lo / step) * step
+        out = []
+        tick = first
+        while tick <= hi + 1e-9:
+            out.append(round(tick, 10))
+            tick += step
+        return out
+
+    def render(self) -> str:
+        if not self._series:
+            raise ValueError("no series to chart")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        plot_w = self.width - self.MARGIN_L - self.MARGIN_R
+        plot_h = self.height - self.MARGIN_T - self.MARGIN_B
+
+        def px(x: float) -> float:
+            t = (self._x_transform(x) - x_lo) / (x_hi - x_lo)
+            return self.MARGIN_L + t * plot_w
+
+        def py(y: float) -> float:
+            t = (y - y_lo) / (y_hi - y_lo)
+            return self.MARGIN_T + (1 - t) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+            f'font-size="15">{self.title}</text>',
+        ]
+        # Axes.
+        parts.append(
+            f'<rect x="{self.MARGIN_L}" y="{self.MARGIN_T}" '
+            f'width="{plot_w}" height="{plot_h}" fill="none" '
+            f'stroke="#333"/>'
+        )
+        # Y ticks + gridlines.
+        for tick in self._ticks(y_lo, y_hi):
+            y = py(tick)
+            parts.append(
+                f'<line x1="{self.MARGIN_L}" y1="{y:.1f}" '
+                f'x2="{self.MARGIN_L + plot_w}" y2="{y:.1f}" '
+                f'stroke="#ddd"/>'
+            )
+            parts.append(
+                f'<text x="{self.MARGIN_L - 6}" y="{y + 4:.1f}" '
+                f'text-anchor="end">{tick:g}</text>'
+            )
+        # X ticks.
+        x_tick_values = (
+            [10 ** t for t in self._ticks(x_lo, x_hi)]
+            if self.log_x
+            else self._ticks(x_lo, x_hi)
+        )
+        for tick in x_tick_values:
+            x = px(tick)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{self.MARGIN_T + plot_h}" '
+                f'x2="{x:.1f}" y2="{self.MARGIN_T + plot_h + 5}" '
+                f'stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{self.MARGIN_T + plot_h + 18}" '
+                f'text-anchor="middle">{tick:g}</text>'
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{self.MARGIN_L + plot_w / 2}" '
+            f'y="{self.height - 12}" text-anchor="middle">{self.xlabel}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{self.MARGIN_T + plot_h / 2}" '
+            f'text-anchor="middle" transform="rotate(-90 16 '
+            f'{self.MARGIN_T + plot_h / 2})">{self.ylabel}</text>'
+        )
+        # Series.
+        for series in self._series:
+            points = " ".join(
+                f"{px(x):.1f},{py(y):.1f}"
+                for x, y in sorted(zip(series.xs, series.ys))
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{series.color}" stroke-width="2"/>'
+            )
+            for x, y in zip(series.xs, series.ys):
+                parts.append(
+                    f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                    f'fill="{series.color}"/>'
+                )
+        # Legend.
+        legend_y = self.MARGIN_T + 8
+        for series in self._series:
+            parts.append(
+                f'<rect x="{self.MARGIN_L + 10}" y="{legend_y - 9}" '
+                f'width="12" height="12" fill="{series.color}"/>'
+            )
+            parts.append(
+                f'<text x="{self.MARGIN_L + 27}" y="{legend_y + 2}">'
+                f'{series.label}</text>'
+            )
+            legend_y += 18
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class ChartSpec:
+    """How to turn one experiment's rows into a chart."""
+
+    x_col: str
+    y_col: str
+    series_col: str | None = None  # None: each y column is its own line
+    y_cols: tuple[str, ...] = ()
+    xlabel: str = ""
+    ylabel: str = ""
+    log_x: bool = False
+
+
+CHART_SPECS: dict[str, ChartSpec] = {
+    "fig01": ChartSpec("cpus", "", y_cols=("GS1280/1.15GHz", "SC45/1.25GHz",
+                                           "GS320/1.2GHz"),
+                       xlabel="# CPUs", ylabel="SPECfp_rate2000"),
+    "fig06": ChartSpec("cpus", "", y_cols=("GS1280", "GS320 (<=32P)", "SC45"),
+                       xlabel="# CPUs", ylabel="Bandwidth (GB/s)"),
+    "fig14": ChartSpec("cpus", "", y_cols=("GS1280/1.15GHz", "GS320/1.2GHz"),
+                       xlabel="# CPUs", ylabel="latency (ns)"),
+    "fig15": ChartSpec("bandwidth MB/s", "latency ns", series_col="system",
+                       xlabel="bandwidth (MB/s)", ylabel="latency (ns)"),
+    "fig18": ChartSpec("bandwidth MB/s", "latency ns", series_col="cabling",
+                       xlabel="bandwidth (MB/s)", ylabel="latency (ns)"),
+    "fig19": ChartSpec("cpus", "", y_cols=("GS1280/1.15GHz", "SC45/1.25GHz",
+                                           "GS320/1.22GHz"),
+                       xlabel="# CPUs", ylabel="Rating"),
+    "fig21": ChartSpec("cpus", "", y_cols=("GS1280/1.15GHz", "SC45/1.25GHz",
+                                           "GS320/1.2GHz"),
+                       xlabel="# CPUs", ylabel="MOPS"),
+    "fig26": ChartSpec("bandwidth MB/s", "latency ns", series_col="mode",
+                       xlabel="bandwidth (MB/s)", ylabel="latency (ns)"),
+    "ext01": ChartSpec("bandwidth MB/s", "p99 ns", series_col="system",
+                       xlabel="bandwidth (MB/s)", ylabel="p99 latency (ns)"),
+    "ext03": ChartSpec("bandwidth MB/s", "latency ns", series_col="cabling",
+                       xlabel="bandwidth (MB/s)", ylabel="latency (ns)"),
+}
+
+
+def chart_from_result(result: ExperimentResult,
+                      spec: ChartSpec | None = None) -> SvgChart:
+    """Build the standard chart for a (chartable) experiment result."""
+    spec = spec or CHART_SPECS.get(result.exp_id)
+    if spec is None:
+        raise KeyError(
+            f"no chart spec for {result.exp_id!r}; chartable: "
+            f"{sorted(CHART_SPECS)}"
+        )
+    chart = SvgChart(
+        title=result.title,
+        xlabel=spec.xlabel or spec.x_col,
+        ylabel=spec.ylabel or spec.y_col,
+        log_x=spec.log_x,
+    )
+    if spec.series_col is not None:
+        labels = []
+        for row in result.rows:
+            label = row[result.headers.index(spec.series_col)]
+            if label not in labels:
+                labels.append(label)
+        for label in labels:
+            xs, ys = [], []
+            for row in result.rows:
+                if row[result.headers.index(spec.series_col)] != label:
+                    continue
+                x = row[result.headers.index(spec.x_col)]
+                y = row[result.headers.index(spec.y_col)]
+                if x is not None and y is not None:
+                    xs.append(x)
+                    ys.append(y)
+            if xs:
+                chart.add_series(str(label), xs, ys)
+    else:
+        for y_col in spec.y_cols:
+            xs, ys = [], []
+            for row in result.rows:
+                x = row[result.headers.index(spec.x_col)]
+                y = row[result.headers.index(y_col)]
+                if x is not None and y is not None:
+                    xs.append(x)
+                    ys.append(y)
+            if xs:
+                chart.add_series(y_col, xs, ys)
+    return chart

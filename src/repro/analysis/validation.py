@@ -1,0 +1,82 @@
+"""Cross-fidelity validation: the analytic models vs the event-driven
+machines, side by side.
+
+The library deliberately keeps two levels of fidelity; this module runs
+the pairs that claim to describe the same quantity and reports the
+discrepancy, so a calibration regression in either layer is visible in
+one table (``examples/validation_report.py`` prints it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.io import sustained_io_bandwidth_gbps
+from repro.cache import HierarchyLatencyModel
+from repro.config import GS320Config, GS1280Config
+from repro.systems import GS320System, GS1280System
+from repro.workloads.iostream import run_io_streams
+from repro.workloads.pointer_chase import chase_on_system
+from repro.workloads.stream import stream_bandwidth_gbps
+from repro.workloads.stream_sim import run_stream_sim
+
+__all__ = ["ValidationRow", "validation_report"]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    quantity: str
+    machine: str
+    analytic: float
+    simulated: float
+    unit: str
+
+    @property
+    def error_pct(self) -> float:
+        if self.analytic == 0:
+            return 0.0
+        return 100.0 * (self.simulated / self.analytic - 1.0)
+
+
+def validation_report(fast: bool = True) -> list[ValidationRow]:
+    """Run every analytic-vs-simulated pair; returns comparison rows."""
+    rows: list[ValidationRow] = []
+    window = 6000.0 if fast else 16000.0
+
+    # 1. Local dependent-load latency (Figure 4's memory plateau).
+    for name, cfg, factory in (
+        ("GS1280", GS1280Config.build(4), lambda: GS1280System(4)),
+        ("GS320", GS320Config.build(4), lambda: GS320System(4)),
+    ):
+        analytic = HierarchyLatencyModel(cfg).dependent_load_latency_ns(
+            32 << 20, 64
+        )
+        simulated = chase_on_system(factory(), n_loads=100, stride=64)
+        rows.append(ValidationRow(
+            "dependent-load latency (32MB)", name, analytic, simulated, "ns"
+        ))
+
+    # 2. STREAM bandwidth at 4 CPUs (Figure 7).
+    for name, cfg, factory in (
+        ("GS1280", GS1280Config.build(4), lambda: GS1280System(4)),
+        ("GS320", GS320Config.build(4), lambda: GS320System(4)),
+    ):
+        analytic = stream_bandwidth_gbps(cfg, 4)
+        simulated = run_stream_sim(factory, active_cpus=4,
+                                   window_ns=window).bandwidth_gbps
+        rows.append(ValidationRow(
+            "STREAM Triad (4 CPUs)", name, analytic, simulated, "GB/s"
+        ))
+
+    # 3. Aggregate I/O bandwidth at 16 CPUs (Figure 28's I/O bar).
+    for name, cfg, factory in (
+        ("GS1280", GS1280Config.build(16), lambda: GS1280System(16)),
+        ("GS320", GS320Config.build(16), lambda: GS320System(16)),
+    ):
+        analytic = sustained_io_bandwidth_gbps(cfg, 16)
+        simulated = run_io_streams(factory,
+                                   window_ns=window).bandwidth_gbps
+        rows.append(ValidationRow(
+            "aggregate I/O (16 CPUs)", name, analytic, simulated, "GB/s"
+        ))
+    return rows

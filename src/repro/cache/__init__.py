@@ -1,0 +1,8 @@
+"""Cache models: functional set-associative caches, victim buffers, and
+the analytic hierarchy latency model."""
+
+from repro.cache.cache import AccessResult, Cache
+from repro.cache.hierarchy import HierarchyLatencyModel
+from repro.cache.victim import VictimBuffer
+
+__all__ = ["AccessResult", "Cache", "HierarchyLatencyModel", "VictimBuffer"]

@@ -1,0 +1,93 @@
+"""Functional set-associative cache with LRU replacement.
+
+Used by the unit tests, the pointer-chase example, and the victim-buffer
+model.  The large fabric simulations use the analytic hierarchy model
+instead (``repro.cache.hierarchy``) because per-access functional
+simulation of multi-gigabyte sweeps is not needed to reproduce any paper
+figure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.config import CacheConfig
+
+__all__ = ["Cache", "AccessResult"]
+
+
+class AccessResult:
+    """Outcome of one cache access."""
+
+    __slots__ = ("hit", "victim_tag", "victim_dirty")
+
+    def __init__(self, hit: bool, victim_tag: int | None = None,
+                 victim_dirty: bool = False):
+        self.hit = hit
+        self.victim_tag = victim_tag
+        self.victim_dirty = victim_dirty
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<AccessResult hit={self.hit} victim={self.victim_tag}>"
+
+
+class Cache:
+    """One level of a cache hierarchy.
+
+    Addresses are byte addresses; lines are ``config.line_bytes`` wide.
+    ``associativity == 1`` gives the direct-mapped off-chip caches of the
+    21264 platforms; the EV7's 1.75 MB L2 is 7-way.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        if config.size_bytes % (config.line_bytes * config.associativity):
+            raise ValueError("cache size must be a whole number of sets")
+        self.config = config
+        self.n_sets = config.sets()
+        # Each set: OrderedDict tag -> dirty flag, LRU order (oldest first).
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int, write: bool = False) -> AccessResult:
+        """Look up an address, filling on miss.  Returns hit/victim info."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            self.hits += 1
+            ways.move_to_end(tag)
+            if write:
+                ways[tag] = True
+            return AccessResult(hit=True)
+        self.misses += 1
+        victim_tag = None
+        victim_dirty = False
+        if len(ways) >= self.config.associativity:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            victim_tag = victim_tag * self.n_sets + set_index  # back to line
+        ways[tag] = write
+        return AccessResult(hit=False, victim_tag=victim_tag,
+                            victim_dirty=victim_dirty)
+
+    def probe(self, address: int) -> bool:
+        """Non-allocating lookup (no LRU update)."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present; returns whether it was dirty."""
+        set_index, tag = self._locate(address)
+        return bool(self._sets[set_index].pop(tag, False))
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)

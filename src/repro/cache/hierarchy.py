@@ -1,0 +1,87 @@
+"""Analytic memory-hierarchy latency model (Figures 4 and 5).
+
+Computes the average load-to-use latency of an lmbench-style
+dependent-load sweep over a dataset of a given size and stride, for any
+of the modelled machines.  The curve is piecewise by the level the
+dataset falls into, with a short geometric blend across each capacity
+knee (caches don't transition instantaneously because of the LRU sweep
+pattern), and with RDRAM open/closed-page behaviour as a function of
+stride for the memory plateau.
+
+Sub-line strides amortize one miss over ``line/stride`` accesses, the
+rest hitting in the L1 -- this is why Figure 5's small-stride edge is so
+low.  Strides approaching the page size defeat the open-page cache and
+raise the plateau from ~80 ns to ~130 ns.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+
+__all__ = ["HierarchyLatencyModel"]
+
+
+def _blend(size: float, knee: float, lo: float, hi: float, width: float = 0.6) -> float:
+    """Smooth transition of width ``knee*(1 +/- width)`` between plateaus."""
+    low_edge = knee * (1.0 - width / 2)
+    high_edge = knee * (1.0 + width)
+    if size <= low_edge:
+        return lo
+    if size >= high_edge:
+        return hi
+    frac = (size - low_edge) / (high_edge - low_edge)
+    return lo + (hi - lo) * frac
+
+
+class HierarchyLatencyModel:
+    """Dependent-load latency for one machine's local hierarchy."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+
+    # -- plateau latencies -------------------------------------------------
+    def l1_latency_ns(self) -> float:
+        return self.machine.l1.load_to_use_ns
+
+    def l2_latency_ns(self) -> float:
+        return self.machine.l2.load_to_use_ns
+
+    def memory_latency_ns(self, stride_bytes: int = 64) -> float:
+        """Open/closed-page weighted memory latency for a sweep."""
+        m = self.machine.memory
+        page_miss = min(1.0, max(stride_bytes, 1) / m.page_bytes)
+        dram = m.open_page_ns + m.closed_page_extra_ns * page_miss
+        return (
+            self.machine.request_launch_ns
+            + self.machine.directory_lookup_ns
+            + self.machine.local_interconnect_ns
+            + dram
+            + self.machine.fill_ns
+        )
+
+    # -- the full curve ------------------------------------------------------
+    def dependent_load_latency_ns(
+        self, dataset_bytes: int, stride_bytes: int = 64
+    ) -> float:
+        """Average latency per dependent load (Figure 4/5 y-axis)."""
+        if dataset_bytes <= 0:
+            raise ValueError("dataset must be positive")
+        if stride_bytes <= 0:
+            raise ValueError("stride must be positive")
+        m = self.machine
+        line = m.l1.line_bytes
+        l1 = self.l1_latency_ns()
+        l2 = self.l2_latency_ns()
+        mem = self.memory_latency_ns(stride_bytes)
+
+        # Latency of the level the *lines* actually come from, as a
+        # function of dataset size.
+        miss_latency = _blend(dataset_bytes, m.l2.size_bytes, l2, mem)
+        level_latency = _blend(dataset_bytes, m.l1.size_bytes, l1, miss_latency)
+
+        if stride_bytes >= line:
+            return level_latency
+        # Sub-line stride: one miss serves line/stride accesses; the rest
+        # hit in L1.
+        per_line = line / stride_bytes
+        return (level_latency + (per_line - 1.0) * l1) / per_line

@@ -1,0 +1,45 @@
+"""Victim buffer model.
+
+The EV7 provides 16 victim buffers from L1 to L2 and from L2 to memory
+(Section 2).  Evicted dirty lines park in a buffer until the memory
+system drains them; a full buffer stalls further evictions.  The model
+tracks occupancy against drain bandwidth and reports the stall time a
+new eviction would incur -- the STREAM model uses this to bound
+writeback-limited bandwidth, and the functional tests exercise the
+fill/drain behaviour directly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VictimBuffer"]
+
+
+class VictimBuffer:
+    """Occupancy/stall accounting for a fixed set of victim buffers."""
+
+    def __init__(self, n_entries: int, drain_bw_gbps: float,
+                 line_bytes: int = 64) -> None:
+        if n_entries < 1:
+            raise ValueError("need at least one victim buffer")
+        self.n_entries = n_entries
+        self.drain_bw_gbps = drain_bw_gbps
+        self.line_bytes = line_bytes
+        self._drain_free_at: list[float] = [0.0] * n_entries
+        self.evictions = 0
+        self.stall_ns_total = 0.0
+
+    def evict(self, now_ns: float) -> float:
+        """Register a dirty eviction at ``now_ns``; returns the stall the
+        core sees (0 when a buffer is free)."""
+        self.evictions += 1
+        drain_ns = self.line_bytes / self.drain_bw_gbps
+        earliest = min(range(self.n_entries), key=self._drain_free_at.__getitem__)
+        free_at = self._drain_free_at[earliest]
+        stall = max(0.0, free_at - now_ns)
+        start = max(now_ns, free_at)
+        self._drain_free_at[earliest] = start + drain_ns
+        self.stall_ns_total += stall
+        return stall
+
+    def occupancy(self, now_ns: float) -> int:
+        return sum(1 for t in self._drain_free_at if t > now_ns)

@@ -1,0 +1,21 @@
+"""Directory-based forwarding coherence protocol (Section 2 of the paper)."""
+
+from repro.coherence.agent import CoherenceAgent
+from repro.coherence.directory import (
+    Directory,
+    DirectoryActions,
+    DirectoryEntry,
+    LineState,
+)
+from repro.coherence.messages import CoherenceMessage, CoherenceOp, Transaction
+
+__all__ = [
+    "CoherenceAgent",
+    "CoherenceMessage",
+    "CoherenceOp",
+    "Directory",
+    "DirectoryActions",
+    "DirectoryEntry",
+    "LineState",
+    "Transaction",
+]

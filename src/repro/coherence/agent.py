@@ -1,0 +1,362 @@
+"""Timing agent: runs the directory protocol over a fabric.
+
+One :class:`CoherenceAgent` lives at every CPU node.  It plays all three
+protocol roles:
+
+* **requestor** -- :meth:`read` / :meth:`read_mod` / :meth:`victim`
+  launch transactions after the configured miss-detection latency and
+  complete them when the data response (plus any invalidation acks)
+  arrives;
+* **home** -- incoming Requests consult the node's
+  :class:`~repro.coherence.directory.Directory` after the directory
+  lookup latency, then either read the local Zbox and respond, or send
+  Forwards/invalidates;
+* **owner / sharer** -- incoming Forwards probe the local cache
+  (``cache_probe_ns``) and respond straight to the requestor, with the
+  sharing writeback to home memory modelled off the critical path.
+
+The zero-load end-to-end latencies this produces are pinned against the
+paper's Figure 13 map by the calibration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.coherence.directory import Directory, DirectoryActions
+from repro.coherence.messages import CoherenceMessage, CoherenceOp, Transaction
+from repro.config import CACHE_LINE_BYTES, DATA_RESPONSE_BYTES, MachineConfig
+from repro.memory import AddressMap, NodeLocalMap, Zbox
+from repro.network import FabricBase, MessageClass, Packet
+from repro.sim import Simulator
+
+__all__ = ["CoherenceAgent"]
+
+
+class CoherenceAgent:
+    """Protocol engine for one CPU node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        machine: MachineConfig,
+        fabric: FabricBase,
+        zbox_of: Callable[[int], Zbox],
+        address_map: AddressMap | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.machine = machine
+        self.fabric = fabric
+        self.zbox_of = zbox_of
+        self.address_map = address_map or NodeLocalMap()
+        self.directory = Directory(node)
+        self._txns: dict[int, Transaction] = {}
+        self._next_txn = node << 32  # globally unique across agents
+        # Statistics.
+        self.completed: dict[str, int] = {}
+        self.latency_sum_ns: dict[str, float] = {}
+        self.latencies: list[float] = []
+        self.record_latencies = False
+        fabric.register_agent(node, self._on_packet)
+
+    # ------------------------------------------------------------------
+    # requestor API
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        address: int,
+        on_complete: Callable[[Transaction], None],
+        home: int | None = None,
+        size_bytes: int = 64,
+    ) -> Transaction:
+        """Issue a coherent read (RdBlk) for ``address``.
+
+        ``size_bytes`` above one line models bulk block transfers (used
+        by the MPI workload models); coherence is still tracked at the
+        leading line's granularity.
+        """
+        return self._start(CoherenceOp.READ, address, on_complete, home,
+                           size_bytes)
+
+    def read_mod(
+        self,
+        address: int,
+        on_complete: Callable[[Transaction], None],
+        home: int | None = None,
+        size_bytes: int = 64,
+    ) -> Transaction:
+        """Issue a read-with-modify-intent (RdBlkMod)."""
+        return self._start(CoherenceOp.READ_MOD, address, on_complete, home,
+                           size_bytes)
+
+    def victim(self, address: int, home: int | None = None) -> None:
+        """Write a dirty line back to its home (fire-and-forget)."""
+        home = self._resolve_home(address, home)
+        msg = CoherenceMessage(
+            op=CoherenceOp.VICTIM,
+            address=address,
+            requestor=self.node,
+            txn_id=-1,
+            home=home,
+        )
+        if home == self.node and not self.machine.local_via_fabric:
+            self.sim.schedule(self.machine.directory_lookup_ns,
+                              self._home_handle, msg)
+        else:
+            self._send(home, MessageClass.REQUEST, msg,
+                       size=DATA_RESPONSE_BYTES)
+
+    def outstanding(self) -> int:
+        return len(self._txns)
+
+    # ------------------------------------------------------------------
+    def _resolve_home(self, address: int, home: int | None) -> int:
+        if home is not None:
+            return home
+        return self.address_map.home(self.node, address).node
+
+    def _start(
+        self,
+        op: str,
+        address: int,
+        on_complete: Callable[[Transaction], None],
+        home: int | None,
+        size_bytes: int = 64,
+    ) -> Transaction:
+        home = self._resolve_home(address, home)
+        txn_id = self._next_txn
+        self._next_txn += 1
+        txn = Transaction(
+            txn_id=txn_id,
+            op=op,
+            address=address,
+            home=home,
+            started_at=self.sim.now,
+            on_complete=on_complete,
+            user_data=size_bytes,
+        )
+        self._txns[txn_id] = txn
+        # Miss detection + request launch.
+        self.sim.schedule(self.machine.request_launch_ns, self._issue, txn)
+        return txn
+
+    def _issue(self, txn: Transaction) -> None:
+        msg = CoherenceMessage(
+            op=txn.op,
+            address=txn.address,
+            requestor=self.node,
+            txn_id=txn.txn_id,
+            home=txn.home,
+            size_bytes=txn.user_data if isinstance(txn.user_data, int) else 64,
+        )
+        if txn.home == self.node and not self.machine.local_via_fabric:
+            # Local request: pay the directory lookup that remote
+            # requests pay on packet arrival.
+            self.sim.schedule(self.machine.directory_lookup_ns,
+                              self._home_handle, msg)
+        else:
+            self._send(txn.home, MessageClass.REQUEST, msg)
+
+    def _send(
+        self, dst: int, msg_class: int, msg: CoherenceMessage,
+        size: int | None = None,
+    ) -> None:
+        packet = Packet(self.node, dst, msg_class, size_bytes=size, payload=msg)
+        self.fabric.inject(packet)
+
+    # ------------------------------------------------------------------
+    # packet dispatch
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        msg: CoherenceMessage = packet.payload
+        op = msg.op
+        if op in (CoherenceOp.READ, CoherenceOp.READ_MOD, CoherenceOp.VICTIM):
+            self.sim.schedule(
+                self.machine.directory_lookup_ns, self._home_handle, msg
+            )
+        elif op in (CoherenceOp.FORWARD_READ, CoherenceOp.FORWARD_MOD):
+            self.sim.schedule(
+                self.machine.cache_probe_ns, self._owner_handle, msg
+            )
+        elif op == CoherenceOp.INVALIDATE:
+            self.sim.schedule(
+                self.machine.cache_probe_ns, self._sharer_handle, msg
+            )
+        elif op == CoherenceOp.DATA:
+            self._data_arrived(msg)
+        elif op == CoherenceOp.INVAL_ACK:
+            self._ack_arrived(msg)
+        else:  # pragma: no cover - protocol completeness guard
+            raise RuntimeError(f"agent {self.node}: unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # home role
+    # ------------------------------------------------------------------
+    def _home_handle(self, msg: CoherenceMessage) -> None:
+        actions = self.directory.handle(msg.op, msg.address, msg.requestor)
+        self._apply_actions(msg, actions)
+
+    def _apply_actions(self, msg: CoherenceMessage, actions: DirectoryActions) -> None:
+        zbox = self.zbox_of(self.node)
+        if actions.write_memory:
+            zbox.access(msg.address, msg.size_bytes, _noop, write=True)
+        if actions.forward_to is not None:
+            fwd = CoherenceMessage(
+                op=actions.forward_op,
+                address=msg.address,
+                requestor=msg.requestor,
+                txn_id=msg.txn_id,
+                home=self.node,
+            )
+            if actions.forward_to == self.node:
+                self._owner_handle(fwd)
+            else:
+                self._send(actions.forward_to, MessageClass.FORWARD, fwd)
+        for sharer in actions.invalidate:
+            inval = CoherenceMessage(
+                op=CoherenceOp.INVALIDATE,
+                address=msg.address,
+                requestor=msg.requestor,
+                txn_id=msg.txn_id,
+                home=self.node,
+                acks_expected=actions.acks_expected,
+            )
+            if sharer == self.node:
+                self._sharer_handle(inval)
+            else:
+                self._send(sharer, MessageClass.FORWARD, inval)
+        if actions.read_memory and actions.respond_to is not None:
+            zbox.access(
+                msg.address,
+                msg.size_bytes,
+                lambda m=msg, a=actions: self._memory_ready(m, a),
+            )
+        elif actions.respond_to is not None:
+            self._memory_ready(msg, actions)
+
+    def _memory_ready(self, msg: CoherenceMessage, actions: DirectoryActions) -> None:
+        data = CoherenceMessage(
+            op=CoherenceOp.DATA,
+            address=msg.address,
+            requestor=msg.requestor,
+            txn_id=msg.txn_id,
+            home=self.node,
+            acks_expected=actions.acks_expected,
+            size_bytes=msg.size_bytes,
+            t_home_done_ns=self.sim.now,
+        )
+        if actions.respond_to == self.node and not self.machine.local_via_fabric:
+            self._data_arrived(data)
+        else:
+            size = None if msg.size_bytes == CACHE_LINE_BYTES else msg.size_bytes + 8
+            self._send(actions.respond_to, MessageClass.RESPONSE, data, size=size)
+
+    # ------------------------------------------------------------------
+    # owner / sharer roles
+    # ------------------------------------------------------------------
+    def _owner_handle(self, msg: CoherenceMessage) -> None:
+        """A Forward arrived: send the dirty line to the requestor.
+
+        On the 21364 the owner responds straight to the requestor
+        (forwarding protocol); on the GS320 the response commits through
+        the home directory first (``dirty_response_via_home``)."""
+        data = CoherenceMessage(
+            op=CoherenceOp.DATA,
+            address=msg.address,
+            requestor=msg.requestor,
+            txn_id=msg.txn_id,
+            home=msg.home,
+            t_home_done_ns=self.sim.now,  # owner probe done (dirty read)
+        )
+        if msg.requestor == self.node:
+            self._data_arrived(data)
+        elif (
+            self.machine.dirty_response_via_home and msg.home != self.node
+        ):
+            self._send(msg.home, MessageClass.RESPONSE, data)
+        else:
+            self._send(msg.requestor, MessageClass.RESPONSE, data)
+        if msg.op == CoherenceOp.FORWARD_READ:
+            # Sharing writeback: the (now Shared) dirty data also returns
+            # to home memory, off the requestor's critical path.
+            wb = CoherenceMessage(
+                op=CoherenceOp.VICTIM,
+                address=msg.address,
+                requestor=self.node,
+                txn_id=-1,
+                home=msg.home,
+            )
+            if msg.home == self.node:
+                self._home_handle(wb)
+            else:
+                self._send(msg.home, MessageClass.RESPONSE, wb,
+                           size=DATA_RESPONSE_BYTES)
+
+    def _sharer_handle(self, msg: CoherenceMessage) -> None:
+        ack = CoherenceMessage(
+            op=CoherenceOp.INVAL_ACK,
+            address=msg.address,
+            requestor=msg.requestor,
+            txn_id=msg.txn_id,
+            home=msg.home,
+        )
+        if msg.requestor == self.node:
+            self._ack_arrived(ack)
+        else:
+            self._send(msg.requestor, MessageClass.RESPONSE, ack)
+
+    # ------------------------------------------------------------------
+    # requestor completion
+    # ------------------------------------------------------------------
+    def _data_arrived(self, msg: CoherenceMessage) -> None:
+        txn = self._txns.get(msg.txn_id)
+        if txn is None:
+            if msg.requestor != self.node:
+                # Home-relayed dirty response (GS320 protocol): commit at
+                # the directory, then pass the data on to the requestor.
+                self.sim.schedule(
+                    self.machine.directory_lookup_ns,
+                    self._send, msg.requestor, MessageClass.RESPONSE, msg,
+                )
+            return  # otherwise: stale/duplicate response
+        txn.data_received = True
+        txn.acks_expected = max(txn.acks_expected, msg.acks_expected)
+        txn.t_home_done = msg.t_home_done_ns
+        txn.t_data_arrived = self.sim.now
+        self._maybe_complete(txn)
+
+    def _ack_arrived(self, msg: CoherenceMessage) -> None:
+        txn = self._txns.get(msg.txn_id)
+        if txn is None:
+            return
+        txn.acks_received += 1
+        self._maybe_complete(txn)
+
+    def _maybe_complete(self, txn: Transaction) -> None:
+        if not txn.is_satisfied():
+            return
+        del self._txns[txn.txn_id]
+        self.sim.schedule(self.machine.fill_ns, self._complete, txn)
+
+    def _complete(self, txn: Transaction) -> None:
+        txn.completed_at = self.sim.now
+        self.completed[txn.op] = self.completed.get(txn.op, 0) + 1
+        self.latency_sum_ns[txn.op] = (
+            self.latency_sum_ns.get(txn.op, 0.0) + txn.latency_ns
+        )
+        if self.record_latencies:
+            self.latencies.append(txn.latency_ns)
+        txn.on_complete(txn)
+
+    # ------------------------------------------------------------------
+    def mean_latency_ns(self, op: str) -> float:
+        n = self.completed.get(op, 0)
+        if not n:
+            raise ValueError(f"no completed {op} transactions at node {self.node}")
+        return self.latency_sum_ns[op] / n
+
+
+def _noop() -> None:
+    return None

@@ -1,0 +1,136 @@
+"""Directory state machine (pure logic, no timing).
+
+One directory instance lives at every home node and tracks, per cache
+line: Invalid (memory holds the only copy), Shared (read-only copies at
+a set of nodes), or Exclusive (one node owns a dirty copy).  The
+:meth:`Directory.handle` method applies a request and returns the
+*actions* the home must perform -- reading memory, forwarding to an
+owner, invalidating sharers -- which the timing agent then schedules.
+
+Keeping the protocol logic timing-free makes it directly unit-testable
+against the transition table of Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.messages import CoherenceOp
+
+__all__ = ["LineState", "DirectoryEntry", "DirectoryActions", "Directory"]
+
+
+class LineState:
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+
+
+@dataclass
+class DirectoryEntry:
+    state: str = LineState.INVALID
+    owner: int | None = None
+    sharers: set[int] = field(default_factory=set)
+
+
+@dataclass
+class DirectoryActions:
+    """What the home node must do in response to one request."""
+
+    read_memory: bool = False  # fetch the line from the local Zbox
+    write_memory: bool = False  # victim data into the local Zbox
+    respond_to: int | None = None  # send BlkData to this node
+    forward_to: int | None = None  # send FwdRd/FwdMod to the owner
+    forward_op: str | None = None
+    invalidate: tuple[int, ...] = ()  # send Inval to these sharers
+    acks_expected: int = 0  # inval-acks the requestor must collect
+
+
+class Directory:
+    """Directory for the lines homed at one node."""
+
+    def __init__(self, home: int) -> None:
+        self.home = home
+        self._lines: dict[int, DirectoryEntry] = {}
+        self.requests_handled = 0
+        self.forwards_sent = 0
+        self.invalidations_sent = 0
+
+    def entry(self, address: int) -> DirectoryEntry:
+        return self._lines.get(address, DirectoryEntry())
+
+    def _entry_mut(self, address: int) -> DirectoryEntry:
+        entry = self._lines.get(address)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._lines[address] = entry
+        return entry
+
+    def handle(self, op: str, address: int, requestor: int) -> DirectoryActions:
+        """Apply one request and return the home's obligations."""
+        self.requests_handled += 1
+        entry = self._entry_mut(address)
+        if op == CoherenceOp.READ:
+            return self._handle_read(entry, requestor)
+        if op == CoherenceOp.READ_MOD:
+            return self._handle_read_mod(entry, address, requestor)
+        if op == CoherenceOp.VICTIM:
+            return self._handle_victim(entry, address, requestor)
+        raise ValueError(f"directory cannot handle op {op!r}")
+
+    # -- transitions -----------------------------------------------------
+    def _handle_read(self, entry: DirectoryEntry, requestor: int) -> DirectoryActions:
+        if entry.state == LineState.EXCLUSIVE:
+            owner = entry.owner
+            assert owner is not None
+            entry.state = LineState.SHARED
+            entry.sharers = {owner, requestor}
+            entry.owner = None
+            self.forwards_sent += 1
+            return DirectoryActions(forward_to=owner,
+                                    forward_op=CoherenceOp.FORWARD_READ)
+        entry.state = LineState.SHARED
+        entry.sharers.add(requestor)
+        return DirectoryActions(read_memory=True, respond_to=requestor)
+
+    def _handle_read_mod(
+        self, entry: DirectoryEntry, address: int, requestor: int
+    ) -> DirectoryActions:
+        if entry.state == LineState.EXCLUSIVE:
+            owner = entry.owner
+            assert owner is not None
+            if owner == requestor:
+                # Upgrade by the current owner: nothing to move.
+                return DirectoryActions(respond_to=requestor)
+            entry.owner = requestor
+            self.forwards_sent += 1
+            return DirectoryActions(forward_to=owner,
+                                    forward_op=CoherenceOp.FORWARD_MOD)
+        invalidate = tuple(s for s in entry.sharers if s != requestor)
+        self.invalidations_sent += len(invalidate)
+        entry.state = LineState.EXCLUSIVE
+        entry.owner = requestor
+        entry.sharers = set()
+        return DirectoryActions(
+            read_memory=True,
+            respond_to=requestor,
+            invalidate=invalidate,
+            acks_expected=len(invalidate),
+        )
+
+    def _handle_victim(
+        self, entry: DirectoryEntry, address: int, requestor: int
+    ) -> DirectoryActions:
+        if entry.state == LineState.EXCLUSIVE and entry.owner == requestor:
+            entry.state = LineState.INVALID
+            entry.owner = None
+        # A stale victim (ownership already moved) still writes data back;
+        # the directory state is left for the current owner.
+        return DirectoryActions(write_memory=True)
+
+    # -- introspection ----------------------------------------------------
+    def lines_tracked(self) -> int:
+        return len(self._lines)
+
+    def state_of(self, address: int) -> str:
+        return self.entry(address).state

@@ -1,0 +1,90 @@
+"""Coherence transaction and message vocabulary.
+
+The 21364 global directory protocol is a *forwarding* protocol with
+three message classes (Section 2): a requestor sends a **Request** to
+the directory at the block's home; if the block is clean the home
+answers with a **Response**; if it is Exclusive elsewhere the home sends
+a **Forward** to the owner, who responds directly to the requestor; if
+it is Shared and the request modifies, the home sends
+Forward/invalidates to every sharer and a Response to the requestor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["CoherenceOp", "CoherenceMessage", "Transaction"]
+
+
+class CoherenceOp:
+    """Protocol operation codes carried in packet payloads."""
+
+    READ = "RdBlk"  # read shared
+    READ_MOD = "RdBlkMod"  # read exclusive (modify intent)
+    VICTIM = "Victim"  # dirty writeback to home memory
+    FORWARD_READ = "FwdRd"  # home -> owner: send data to requestor
+    FORWARD_MOD = "FwdMod"  # home -> owner: transfer ownership
+    INVALIDATE = "Inval"  # home -> sharer: drop your copy
+    DATA = "BlkData"  # data response (from home memory or owner)
+    INVAL_ACK = "InvalAck"  # sharer -> requestor: invalidation done
+
+
+@dataclass
+class CoherenceMessage:
+    """Payload of a network packet in the coherence layer."""
+
+    op: str
+    address: int
+    requestor: int  # node that started the transaction
+    txn_id: int
+    home: int
+    # FORWARD messages carry how many inval-acks the requestor must
+    # collect before its store can complete.
+    acks_expected: int = 0
+    # Data payload size.  Coherent lines are 64 bytes; bulk (DMA-style)
+    # block reads used by the MPI workload models may be larger.
+    size_bytes: int = 64
+    # Timestamp stamped by the home when it finished its part (directory
+    # + memory); lets the requestor decompose latency into legs.
+    t_home_done_ns: float = -1.0
+
+
+@dataclass
+class Transaction:
+    """Requestor-side state of one outstanding miss."""
+
+    txn_id: int
+    op: str
+    address: int
+    home: int
+    started_at: float
+    on_complete: Callable[["Transaction"], None]
+    data_received: bool = False
+    acks_expected: int = 0
+    acks_received: int = 0
+    completed_at: float = -1.0
+    # Leg decomposition: when the home finished (request leg + home
+    # service) and when the data reached the requestor (response leg).
+    t_home_done: float = -1.0
+    t_data_arrived: float = -1.0
+    user_data: Any = field(default=None)
+
+    def legs_ns(self) -> tuple[float, float, float] | None:
+        """(to-home+service, response leg, fill) breakdown, if stamped."""
+        if self.t_home_done < 0 or self.t_data_arrived < 0:
+            return None
+        return (
+            self.t_home_done - self.started_at,
+            self.t_data_arrived - self.t_home_done,
+            self.completed_at - self.t_data_arrived,
+        )
+
+    @property
+    def latency_ns(self) -> float:
+        if self.completed_at < 0:
+            raise ValueError("transaction not complete")
+        return self.completed_at - self.started_at
+
+    def is_satisfied(self) -> bool:
+        return self.data_received and self.acks_received >= self.acks_expected

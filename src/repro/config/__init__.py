@@ -1,0 +1,39 @@
+"""Machine parameter dataclasses (GS1280, GS320, ES45, SC45)."""
+
+from repro.config.machines import (
+    ACK_BYTES,
+    CACHE_LINE_BYTES,
+    DATA_RESPONSE_BYTES,
+    FORWARD_BYTES,
+    REQUEST_BYTES,
+    CacheConfig,
+    ES45Config,
+    GS1280Config,
+    GS320Config,
+    LinkClass,
+    MachineConfig,
+    MemoryConfig,
+    RouterConfig,
+    SC45Config,
+    TorusShape,
+    torus_shape_for,
+)
+
+__all__ = [
+    "ACK_BYTES",
+    "CACHE_LINE_BYTES",
+    "DATA_RESPONSE_BYTES",
+    "FORWARD_BYTES",
+    "REQUEST_BYTES",
+    "CacheConfig",
+    "ES45Config",
+    "GS1280Config",
+    "GS320Config",
+    "LinkClass",
+    "MachineConfig",
+    "MemoryConfig",
+    "RouterConfig",
+    "SC45Config",
+    "TorusShape",
+    "torus_shape_for",
+]

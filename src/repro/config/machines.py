@@ -1,0 +1,455 @@
+"""Machine parameter dataclasses for the three Alpha platforms.
+
+Every number here is either taken verbatim from the paper (Section 2's
+component description, Figures 4/5/13 latency measurements) or calibrated
+once so that the simulated zero-load latencies and sustained bandwidths
+land on the paper's measured values.  The calibration tests in
+``tests/test_calibration.py`` pin these numbers against the paper's
+figures, so a parameter change that breaks fidelity fails the suite.
+
+Unit conventions
+----------------
+* time: nanoseconds (float)
+* bandwidth: GB/s.  Because 1 GB/s == 1 byte/ns, serialization delay in
+  nanoseconds is simply ``bytes / bandwidth_gbps``.
+* sizes: bytes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CacheConfig",
+    "MemoryConfig",
+    "RouterConfig",
+    "LinkClass",
+    "TorusShape",
+    "GS1280Config",
+    "GS320Config",
+    "ES45Config",
+    "SC45Config",
+    "MachineConfig",
+    "torus_shape_for",
+]
+
+CACHE_LINE_BYTES = 64
+
+# Coherence message sizes on the wire (header + payload).  A read request
+# carries only an address; a data response carries a 64-byte cache line.
+REQUEST_BYTES = 16
+FORWARD_BYTES = 16
+DATA_RESPONSE_BYTES = 72
+ACK_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A single cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    load_to_use_ns: float
+    on_chip: bool
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.load_to_use_ns <= 0:
+            raise ValueError("cache latency must be positive")
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+    def sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """A memory controller + DRAM subsystem attached to one node.
+
+    ``open_page_ns`` / ``closed_page_extra_ns`` model RDRAM row-buffer
+    behaviour: a hit in one of the open pages costs ``open_page_ns``, a
+    miss additionally pays activate+precharge.
+    """
+
+    peak_bw_gbps: float
+    open_page_ns: float
+    closed_page_extra_ns: float
+    max_open_pages: int
+    page_bytes: int
+    channels: int
+    stream_efficiency: float  # sustained/peak for unit-stride streams
+
+    def __post_init__(self):
+        if self.peak_bw_gbps <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if self.open_page_ns <= 0 or self.closed_page_extra_ns < 0:
+            raise ValueError("memory latencies must be sensible")
+        if self.max_open_pages < 1 or self.page_bytes < 64:
+            raise ValueError("page parameters out of range")
+        if not 0.0 < self.stream_efficiency <= 1.0:
+            raise ValueError("stream_efficiency must be in (0, 1]")
+
+    @property
+    def sustained_stream_bw_gbps(self) -> float:
+        return self.peak_bw_gbps * self.stream_efficiency
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """EV7-style on-chip router (or a switch stage on older machines)."""
+
+    pipeline_ns: float
+    # Arbitration overhead grows as the output backlog grows; this models
+    # VC contention and adaptive-routing inefficiency near saturation and
+    # reproduces the post-saturation bandwidth droop of Fig 15.
+    congestion_penalty_ns_per_queued_packet: float = 0.0
+    max_queue_packets: int = 1_000_000
+
+
+class LinkClass:
+    """Physical classes of inter-processor links (names from Fig 13)."""
+
+    MODULE = "module"  # two CPUs on the same dual-processor module
+    BACKPLANE = "backplane"  # across the drawer backplane
+    CABLE = "cable"  # inter-drawer cable (and torus wraparound)
+    SWITCH = "switch"  # GS320 switch port
+    INTERNAL = "internal"  # zero-length (CPU to its own router)
+
+
+@dataclass(frozen=True)
+class TorusShape:
+    """A cols x rows 2-D torus arrangement."""
+
+    cols: int
+    rows: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.cols * self.rows
+
+    def __str__(self) -> str:
+        return f"{self.cols}x{self.rows}"
+
+
+#: GS1280 torus arrangement per CPU count, long dimension horizontal
+#: (Section 5.3 notes the 32P machine is a 4x8 torus: 8 columns, 4 rows).
+_TORUS_SHAPES = {
+    2: TorusShape(2, 1),
+    4: TorusShape(2, 2),
+    8: TorusShape(4, 2),
+    16: TorusShape(4, 4),
+    32: TorusShape(8, 4),
+    64: TorusShape(8, 8),
+    128: TorusShape(16, 8),
+    256: TorusShape(16, 16),
+}
+
+
+def torus_shape_for(n_cpus: int) -> TorusShape:
+    """The standard GS1280 torus shape for ``n_cpus`` processors."""
+    try:
+        return _TORUS_SHAPES[n_cpus]
+    except KeyError:
+        raise ValueError(
+            f"no standard GS1280 torus shape for {n_cpus} CPUs "
+            f"(supported: {sorted(_TORUS_SHAPES)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Base class holding parameters shared by all three platforms."""
+
+    name: str
+    n_cpus: int
+    clock_ghz: float
+    l1: CacheConfig
+    l2: CacheConfig
+    memory: MemoryConfig
+    # Fixed costs on the local memory path (measured into Fig 4/12 values):
+    request_launch_ns: float  # core issue + L1/L2 miss detection + ctrl cmd
+    fill_ns: float  # data return into the core
+    directory_lookup_ns: float
+    cache_probe_ns: float  # owner-cache access for Read-Dirty forwards
+    victim_buffers: int
+    io_bw_per_hose_gbps: float
+    io_hoses: int
+    mlp: int  # demand-miss concurrency per CPU (MSHRs / L2 miss ports)
+    # Prefetch-driven stream concurrency (software prefetch + wh64 push
+    # more line fetches than demand misses can); 0 means "same as mlp".
+    stream_mlp: int = 0
+    # Extra fixed interconnect cost on *local* memory accesses.  Zero on
+    # the GS1280 (Zboxes are on-chip); the switch-based machines cross
+    # their crossbar/QBB switch both ways even for local memory.
+    local_interconnect_ns: float = 0.0
+    # Whether local accesses ride the fabric (and thus contend with
+    # remote traffic on the shared switch links).
+    local_via_fabric: bool = False
+    # GS320-style dirty-read completion: the owner's data response is
+    # relayed through the home directory (commit point) instead of
+    # going straight to the requestor like the 21364's forwarding
+    # protocol does.  This is why GS320 Read-Dirty is so slow (6.6x).
+    dirty_response_via_home: bool = False
+
+    def __post_init__(self):
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        if self.n_cpus < 1:
+            raise ValueError("need at least one CPU")
+        if self.mlp < 1:
+            raise ValueError("need at least one MSHR")
+        if self.request_launch_ns < 0 or self.fill_ns < 0:
+            raise ValueError("path latencies cannot be negative")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    @property
+    def local_memory_latency_ns(self) -> float:
+        """Zero-load open-page dependent-load latency to local memory."""
+        return (
+            self.request_launch_ns
+            + self.directory_lookup_ns
+            + self.local_interconnect_ns
+            + self.memory.open_page_ns
+            + self.fill_ns
+        )
+
+    def with_cpus(self, n_cpus: int) -> "MachineConfig":
+        """A copy of this config scaled to ``n_cpus`` processors."""
+        return replace(self, n_cpus=n_cpus)
+
+
+# ---------------------------------------------------------------------------
+# GS1280 (Alpha 21364 / EV7, 1.15 GHz, 2-D adaptive torus)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GS1280Config(MachineConfig):
+    """HP AlphaServer GS1280: up to 64 EV7 CPUs on a 2-D adaptive torus."""
+
+    router: RouterConfig = field(
+        default_factory=lambda: RouterConfig(
+            pipeline_ns=10.0, congestion_penalty_ns_per_queued_packet=2.0
+        )
+    )
+    link_bw_gbps: float = 3.1  # per direction (6.2 GB/s per link pair)
+    wire_ns: dict = field(
+        default_factory=lambda: {
+            LinkClass.MODULE: 4.0,
+            LinkClass.BACKPLANE: 7.0,
+            LinkClass.CABLE: 12.0,
+            LinkClass.INTERNAL: 0.0,
+        }
+    )
+    interleave_controllers: int = 2  # two Zboxes per CPU
+    # Ablation knob: per-class virtual-channel priority on the links
+    # (True on the real machine; False collapses classes into one FIFO).
+    vc_class_priority: bool = True
+
+    @classmethod
+    def build(cls, n_cpus: int = 16) -> "GS1280Config":
+        return cls(
+            name="GS1280",
+            n_cpus=n_cpus,
+            clock_ghz=1.15,
+            l1=CacheConfig(
+                size_bytes=64 * 1024,
+                associativity=2,
+                line_bytes=CACHE_LINE_BYTES,
+                load_to_use_ns=2.6,  # 3 cycles @ 1.15 GHz
+                on_chip=True,
+            ),
+            l2=CacheConfig(
+                size_bytes=int(1.75 * 1024 * 1024),
+                associativity=7,
+                line_bytes=CACHE_LINE_BYTES,
+                load_to_use_ns=10.4,  # 12 cycles @ 1.15 GHz (paper Sec. 2)
+                on_chip=True,
+            ),
+            memory=MemoryConfig(
+                peak_bw_gbps=12.3,  # 8 RDRAM channels x 2 B @ 767 MHz
+                open_page_ns=50.0,
+                closed_page_extra_ns=48.0,
+                max_open_pages=2048,
+                page_bytes=4096,
+                channels=8,
+                stream_efficiency=0.455,  # sustained ~5.6 GB/s Triad
+            ),
+            request_launch_ns=23.0,
+            fill_ns=8.0,
+            directory_lookup_ns=2.0,  # directory in RDRAM ECC bits, overlapped
+            cache_probe_ns=18.0,
+            victim_buffers=16,
+            io_bw_per_hose_gbps=3.1,
+            io_hoses=1,
+            mlp=16,
+        )
+
+
+# ---------------------------------------------------------------------------
+# GS320 (Alpha 21264 / EV68, 1.22 GHz, QBB hierarchical switch)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GS320Config(MachineConfig):
+    """AlphaServer GS320: 4-CPU Quad Building Blocks behind a global switch."""
+
+    cpus_per_qbb: int = 4
+    local_switch_ns: float = 45.0  # one traversal of the QBB switch
+    global_switch_ns: float = 260.0  # one traversal of the hierarchical switch
+    qbb_memory_bw_gbps: float = 3.2  # peak, shared by the 4 CPUs of a QBB
+    qbb_link_bw_gbps: float = 1.6  # QBB port into the global switch
+    switch_congestion_penalty_ns: float = 14.0
+
+    @property
+    def n_qbbs(self) -> int:
+        return max(1, (self.n_cpus + self.cpus_per_qbb - 1) // self.cpus_per_qbb)
+
+    @classmethod
+    def build(cls, n_cpus: int = 32) -> "GS320Config":
+        return cls(
+            name="GS320",
+            n_cpus=n_cpus,
+            clock_ghz=1.22,
+            l1=CacheConfig(
+                size_bytes=64 * 1024,
+                associativity=2,
+                line_bytes=CACHE_LINE_BYTES,
+                load_to_use_ns=2.5,
+                on_chip=True,
+            ),
+            l2=CacheConfig(
+                size_bytes=16 * 1024 * 1024,
+                associativity=1,  # off-chip direct-mapped
+                line_bytes=CACHE_LINE_BYTES,
+                load_to_use_ns=30.0,
+                on_chip=False,
+            ),
+            memory=MemoryConfig(
+                peak_bw_gbps=3.2,  # per QBB, shared by 4 CPUs
+                open_page_ns=140.0,
+                closed_page_extra_ns=40.0,
+                max_open_pages=64,
+                page_bytes=4096,
+                channels=4,
+                stream_efficiency=0.82,  # ~2.6 GB/s per QBB sustained
+            ),
+            request_launch_ns=40.0,
+            fill_ns=10.0,
+            directory_lookup_ns=20.0,
+            cache_probe_ns=180.0,  # duplicate-tag lookup + off-chip cache read
+            victim_buffers=8,
+            io_bw_per_hose_gbps=0.8,
+            io_hoses=4,  # per system (shared risers), not per CPU
+            mlp=4,  # off-chip L2 + switch queueing limit demand overlap
+            stream_mlp=6,
+            # two QBB-switch traversals + request/response serialization
+            local_interconnect_ns=2 * 45.0 + (16 + 72) / 3.2,
+            local_via_fabric=True,
+            dirty_response_via_home=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# ES45 (Alpha 21264 / EV68, 1.25 GHz, 4-CPU crossbar SMP)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ES45Config(MachineConfig):
+    """AlphaServer ES45: 4 EV68 CPUs, crossbar to shared memory."""
+
+    crossbar_ns: float = 25.0
+    memory_bus_bw_gbps: float = 4.2  # shared by the 4 CPUs
+
+    @classmethod
+    def build(cls, n_cpus: int = 4) -> "ES45Config":
+        if n_cpus > 4:
+            raise ValueError("a single ES45 has at most 4 CPUs; use SC45Config")
+        return cls(
+            name="ES45",
+            n_cpus=n_cpus,
+            clock_ghz=1.25,
+            l1=CacheConfig(
+                size_bytes=64 * 1024,
+                associativity=2,
+                line_bytes=CACHE_LINE_BYTES,
+                load_to_use_ns=2.4,
+                on_chip=True,
+            ),
+            l2=CacheConfig(
+                size_bytes=16 * 1024 * 1024,
+                associativity=1,
+                line_bytes=CACHE_LINE_BYTES,
+                load_to_use_ns=25.0,
+                on_chip=False,
+            ),
+            memory=MemoryConfig(
+                peak_bw_gbps=4.2,
+                open_page_ns=110.0,
+                closed_page_extra_ns=35.0,
+                max_open_pages=64,
+                page_bytes=4096,
+                channels=4,
+                stream_efficiency=0.83,  # ~3.5 GB/s shared sustained
+            ),
+            request_launch_ns=30.0,
+            fill_ns=8.0,
+            directory_lookup_ns=0.0,  # snooping within the box
+            cache_probe_ns=55.0,
+            victim_buffers=8,
+            io_bw_per_hose_gbps=1.0,
+            io_hoses=2,
+            mlp=5,  # off-chip L2 limits demand-miss overlap
+            stream_mlp=8,
+            # two crossbar traversals + request/response serialization
+            local_interconnect_ns=2 * 25.0 + (16 + 72) / 4.2,
+            local_via_fabric=True,
+        )
+
+
+@dataclass(frozen=True)
+class SC45Config(MachineConfig):
+    """SC45: a cluster of 4-CPU ES45 nodes over a Quadrics switch.
+
+    Only MPI-decomposed workloads span nodes; shared-memory workloads are
+    limited to one 4-CPU node.  The Quadrics interconnect parameters are
+    the published Elan3 figures.
+    """
+
+    node: ES45Config = field(default_factory=lambda: ES45Config.build(4))
+    quadrics_bw_gbps: float = 0.32  # per-rail sustained MPI bandwidth
+    quadrics_latency_ns: float = 5000.0  # MPI one-way latency
+
+    @property
+    def n_nodes(self) -> int:
+        return max(1, (self.n_cpus + 3) // 4)
+
+    @classmethod
+    def build(cls, n_cpus: int = 16) -> "SC45Config":
+        node = ES45Config.build(4)
+        return cls(
+            name="SC45",
+            n_cpus=n_cpus,
+            clock_ghz=node.clock_ghz,
+            l1=node.l1,
+            l2=node.l2,
+            memory=node.memory,
+            request_launch_ns=node.request_launch_ns,
+            fill_ns=node.fill_ns,
+            directory_lookup_ns=node.directory_lookup_ns,
+            cache_probe_ns=node.cache_probe_ns,
+            victim_buffers=node.victim_buffers,
+            io_bw_per_hose_gbps=node.io_bw_per_hose_gbps,
+            io_hoses=node.io_hoses,
+            mlp=node.mlp,
+            stream_mlp=node.stream_mlp,
+            local_interconnect_ns=node.local_interconnect_ns,
+            local_via_fabric=node.local_via_fabric,
+            node=node,
+        )

@@ -1,0 +1,20 @@
+"""CPU models: closed-loop traffic generators, the analytic IPC model,
+and the trace-driven functional core."""
+
+from repro.cpu.functional import FunctionalCore, TraceStats, synthetic_trace
+from repro.cpu.ipc import BenchmarkCharacter, IpcModel, IpcResult
+from repro.cpu.loadgen import GeneratorStats, LoadGenerator
+from repro.cpu.profiler import SampleProfile, SamplingProfiler
+
+__all__ = [
+    "BenchmarkCharacter",
+    "FunctionalCore",
+    "GeneratorStats",
+    "IpcModel",
+    "IpcResult",
+    "LoadGenerator",
+    "SampleProfile",
+    "SamplingProfiler",
+    "TraceStats",
+    "synthetic_trace",
+]

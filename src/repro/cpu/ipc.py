@@ -1,0 +1,163 @@
+"""Analytic IPC model for single-CPU benchmarks (Figures 8/9).
+
+The 21364 keeps the 21264 core, so per-benchmark core CPI is common
+across all three machines; what differs is the cache/memory side:
+
+``CPI = cpi_core
+      + l2_apki/1000  * L2_latency_cycles
+      + mpki(L2_size)/1000 * effective_memory_cycles / overlap``
+
+where ``mpki`` is the benchmark's off-chip miss rate as a function of
+the machine's L2 capacity (log-interpolated between characterization
+anchors -- this is how facerec fits a 16 MB off-chip cache but misses a
+1.75 MB on-chip one), and ``effective_memory_cycles`` is the larger of
+the latency-limited and bandwidth-limited service times (streaming
+benchmarks on the shared-bus machines are bandwidth-bound).
+
+The same quantities give the memory-controller utilization that the
+paper's performance counters report (Figures 10/11):
+``util = bytes_per_inst * inst_rate / peak_bw``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cache import HierarchyLatencyModel
+from repro.config import CACHE_LINE_BYTES, MachineConfig
+
+__all__ = ["BenchmarkCharacter", "IpcModel", "IpcResult"]
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacter:
+    """Characterization of one SPEC CPU2000 benchmark.
+
+    ``mpki_anchors`` maps L2 capacity in MB to off-chip misses per
+    kilo-instruction; capacities between anchors interpolate linearly in
+    log-capacity, outside they clamp.  ``overlap`` is the benchmark's
+    memory-level parallelism (how many misses overlap on average);
+    ``writeback_fraction`` adds victim traffic to the bandwidth demand;
+    ``page_locality`` in [0, 1] scales how often DRAM pages hit
+    (streaming code is open-page friendly; pointer chasing is not).
+    """
+
+    name: str
+    suite: str  # "fp" | "int"
+    cpi_core: float
+    l2_apki: float  # L2 accesses per kilo-instruction
+    mpki_anchors: dict[float, float]
+    overlap: float = 1.5
+    writeback_fraction: float = 0.3
+    page_locality: float = 0.7
+
+    def mpki(self, l2_size_mb: float) -> float:
+        """Off-chip miss rate at a given L2 capacity."""
+        anchors = sorted(self.mpki_anchors.items())
+        if l2_size_mb <= anchors[0][0]:
+            return anchors[0][1]
+        if l2_size_mb >= anchors[-1][0]:
+            return anchors[-1][1]
+        for (lo_mb, lo_v), (hi_mb, hi_v) in zip(anchors, anchors[1:]):
+            if lo_mb <= l2_size_mb <= hi_mb:
+                frac = (math.log(l2_size_mb) - math.log(lo_mb)) / (
+                    math.log(hi_mb) - math.log(lo_mb)
+                )
+                return lo_v + (hi_v - lo_v) * frac
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class IpcResult:
+    """IPC and derived memory-demand numbers for one (benchmark, machine)."""
+
+    ipc: float
+    cpi: float
+    memory_bytes_per_second: float
+    memory_utilization: float  # fraction of the machine's peak memory BW
+    # CPI decomposition (cycles per instruction attributed to each part).
+    cpi_core: float = 0.0
+    cpi_l2: float = 0.0
+    cpi_memory: float = 0.0
+    memory_bound: str = ""  # "latency" or "bandwidth"
+
+    @property
+    def memory_utilization_pct(self) -> float:
+        return 100.0 * self.memory_utilization
+
+    def explain(self) -> str:
+        """Human-readable CPI breakdown (what a DCPI profile would say)."""
+        parts = [
+            f"CPI {self.cpi:.2f} (IPC {self.ipc:.2f}):",
+            f"  core     {self.cpi_core:.2f}",
+            f"  L2       {self.cpi_l2:.2f}",
+            f"  memory   {self.cpi_memory:.2f} ({self.memory_bound}-bound)",
+            f"  memory demand {self.memory_bytes_per_second / 1e9:.2f} GB/s "
+            f"({self.memory_utilization_pct:.1f}% of peak)",
+        ]
+        return "\n".join(parts)
+
+
+class IpcModel:
+    """Evaluates benchmarks on a machine's memory system."""
+
+    def __init__(self, machine: MachineConfig,
+                 bw_share_fraction: float = 1.0) -> None:
+        """``bw_share_fraction`` is the slice of the machine's memory
+        bandwidth available to this CPU (1.0 for the per-CPU Zboxes of
+        the GS1280; 1/4 when four CPUs of an ES45/GS320 QBB run a rate
+        workload together)."""
+        self.machine = machine
+        self.bw_share_fraction = bw_share_fraction
+        self._hierarchy = HierarchyLatencyModel(machine)
+
+    def memory_latency_ns(self, character: BenchmarkCharacter) -> float:
+        """Latency of one off-chip miss, with the benchmark's page locality."""
+        m = self.machine
+        dram = m.memory.open_page_ns + m.memory.closed_page_extra_ns * (
+            1.0 - character.page_locality
+        )
+        return (
+            m.request_launch_ns
+            + m.directory_lookup_ns
+            + getattr(m, "local_interconnect_ns", 0.0)
+            + dram
+            + m.fill_ns
+        )
+
+    def evaluate(self, character: BenchmarkCharacter) -> IpcResult:
+        m = self.machine
+        cycle = m.cycle_ns
+        l2_cycles = m.l2.load_to_use_ns / cycle
+        mpki = character.mpki(m.l2.size_mb)
+
+        latency_cycles = self.memory_latency_ns(character) / cycle
+        # A benchmark's memory parallelism is capped by the machine's
+        # MSHRs (the EV7 has 16; the 21264 platforms sustain fewer).
+        overlap = min(max(character.overlap, 1.0), float(m.mlp))
+        latency_term = latency_cycles / overlap
+
+        # Bandwidth-limited service time per miss.
+        line_traffic = CACHE_LINE_BYTES * (1.0 + character.writeback_fraction)
+        bw = m.memory.sustained_stream_bw_gbps * self.bw_share_fraction
+        bw_cycles = (line_traffic / bw) / cycle
+
+        miss_cycles = max(latency_term, bw_cycles)
+        cpi_l2 = character.l2_apki / 1000.0 * l2_cycles
+        cpi_memory = mpki / 1000.0 * miss_cycles
+        cpi = character.cpi_core + cpi_l2 + cpi_memory
+        ipc = 1.0 / cpi
+        inst_per_sec = ipc * m.clock_ghz * 1e9
+        bytes_per_sec = mpki / 1000.0 * line_traffic * inst_per_sec
+        util = bytes_per_sec / (m.memory.peak_bw_gbps * 1e9)
+        return IpcResult(
+            ipc=ipc,
+            cpi=cpi,
+            memory_bytes_per_second=bytes_per_sec,
+            memory_utilization=min(1.0, util),
+            cpi_core=character.cpi_core,
+            cpi_l2=cpi_l2,
+            cpi_memory=cpi_memory,
+            memory_bound="bandwidth" if bw_cycles > latency_term else "latency",
+        )

@@ -1,0 +1,9 @@
+"""One module per paper figure/table, plus the registry and CLI runner.
+
+Import the registry lazily via :mod:`repro.experiments.registry` to get
+``run_experiment``; individual modules expose ``run(fast, seed)``.
+"""
+
+from repro.experiments.base import ExperimentResult, format_result
+
+__all__ = ["ExperimentResult", "format_result"]

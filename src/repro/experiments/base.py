@@ -1,0 +1,66 @@
+"""Experiment scaffolding: uniform result records and text rendering.
+
+Every paper figure/table has a module exposing
+``run(fast: bool = True, seed: int = 0) -> ExperimentResult``.
+``fast`` trims simulation windows and sweep densities so the whole
+suite reproduces in minutes; ``fast=False`` runs the full-fidelity
+version.  The result holds the regenerated series plus notes that tie
+the numbers back to the paper's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_result"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure or table."""
+
+    exp_id: str  # e.g. "fig15"
+    title: str  # the paper's caption, abbreviated
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    extra_text: str = ""  # free-form renders (Xmesh grids, sparklines)
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        try:
+            index = self.headers.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {self.headers}") from None
+        return [row[index] for row in self.rows]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_result(result: ExperimentResult, max_rows: int | None = None) -> str:
+    """Render an ExperimentResult as an aligned text table."""
+    rows = result.rows if max_rows is None else result.rows[:max_rows]
+    cells = [result.headers] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(result.headers))]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if max_rows is not None and len(result.rows) > max_rows:
+        lines.append(f"  ... ({len(result.rows) - max_rows} more rows)")
+    if result.extra_text:
+        lines.append(result.extra_text)
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

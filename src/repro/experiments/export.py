@@ -1,0 +1,62 @@
+"""Serialization of experiment results (JSON), for plotting pipelines
+and regression archival.
+
+``result_to_dict`` emits a stable schema; ``export_results`` writes one
+JSON document with every requested experiment so a notebook (or the
+CI's golden-file diff) can consume the whole reproduction at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import experiment_ids, run_experiment
+
+__all__ = ["result_to_dict", "result_to_json", "export_results"]
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-safe dictionary with the full result."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "id": result.exp_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+        "extra_text": result.extra_text,
+    }
+
+
+def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def export_results(
+    path: str | Path,
+    ids: Iterable[str] | None = None,
+    fast: bool = True,
+    seed: int = 0,
+) -> dict:
+    """Run the experiments and write them to ``path`` as one JSON doc.
+
+    Returns the document (also useful without touching the filesystem
+    by passing ``path=None`` -- then nothing is written).
+    """
+    document = {
+        "schema": SCHEMA_VERSION,
+        "fast": fast,
+        "seed": seed,
+        "experiments": {},
+    }
+    for exp_id in ids if ids is not None else experiment_ids():
+        result = run_experiment(exp_id, fast=fast, seed=seed)
+        document["experiments"][exp_id] = result_to_dict(result)
+    if path is not None:
+        Path(path).write_text(json.dumps(document, indent=2))
+    return document

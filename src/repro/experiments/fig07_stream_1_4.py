@@ -1,0 +1,37 @@
+"""Figure 7: STREAM Triad, 1 vs 4 CPUs, the three Alpha machines.
+
+One CPU already shows the Zbox advantage; four CPUs contrast linear
+(GS1280) with sub-linear (shared-memory ES45/GS320) scaling.
+"""
+
+from __future__ import annotations
+
+from repro.config import ES45Config, GS320Config, GS1280Config
+from repro.experiments.base import ExperimentResult
+from repro.workloads.stream import stream_bandwidth_gbps
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    machines = [
+        ("GS1280/1.15GHz", GS1280Config.build(4)),
+        ("ES45/1.25GHz", ES45Config.build(4)),
+        ("GS320/1.2GHz", GS320Config.build(4)),
+    ]
+    rows = []
+    for n in (1, 4):
+        rows.append(
+            [n] + [stream_bandwidth_gbps(m, n) for _label, m in machines]
+        )
+    speedups = [rows[1][i] / rows[0][i] for i in range(1, 4)]
+    return ExperimentResult(
+        exp_id="fig07",
+        title="STREAM Triad (GB/s), 1 vs 4 CPUs",
+        headers=["cpus"] + [label for label, _m in machines],
+        rows=rows,
+        notes=[
+            f"1->4 CPU scaling: GS1280 {speedups[0]:.2f}x (linear), "
+            f"ES45 {speedups[1]:.2f}x, GS320 {speedups[2]:.2f}x (contended)",
+        ],
+    )

@@ -1,0 +1,43 @@
+"""Figure 12: local/remote latency from CPU0 on 16-CPU GS1280 vs GS320.
+
+GS320 has two latency levels (inside/outside the QBB); the GS1280 has a
+gentle hop gradient.  The paper reports a 4x average advantage, 6.6x
+when comparing Read-Dirty latencies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.latency import (
+    average_read_dirty_latency,
+    latency_map,
+)
+from repro.experiments.base import ExperimentResult
+from repro.systems import GS320System, GS1280System
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 16
+    gs1280 = latency_map(lambda: GS1280System(n), n)
+    gs320 = latency_map(lambda: GS320System(n), n)
+    rows = [
+        [f"0 -> {dst}", gs1280[dst], gs320[dst]] for dst in range(n)
+    ]
+    avg1280 = sum(gs1280) / n
+    avg320 = sum(gs320) / n
+    rows.append(["average", avg1280, avg320])
+    samples = 4 if fast else 12
+    dirty1280 = average_read_dirty_latency(lambda: GS1280System(n), n, samples)
+    dirty320 = average_read_dirty_latency(lambda: GS320System(n), n, samples)
+    return ExperimentResult(
+        exp_id="fig12",
+        title="GS1280 vs GS320 latency map, 16 CPUs (ns)",
+        headers=["path", "GS1280/1.15GHz", "GS320/1.2GHz"],
+        rows=rows,
+        notes=[
+            f"average advantage {avg320 / avg1280:.1f}x (paper: 4x)",
+            f"Read-Dirty: GS1280 {dirty1280:.0f} ns vs GS320 {dirty320:.0f} ns "
+            f"= {dirty320 / dirty1280:.1f}x (paper: 6.6x)",
+        ],
+    )

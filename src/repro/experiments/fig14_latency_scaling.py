@@ -1,0 +1,28 @@
+"""Figure 14: average load-to-use latency, 4 to 64 CPUs.
+
+The GS1280's average grows gently with the torus radius; the GS320's
+jumps once traffic leaves the QBB and stays high.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.latency import latency_scaling
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    counts = [4, 8, 16] if fast else [4, 8, 16, 32, 64]
+    rows = [list(r) for r in latency_scaling(counts)]
+    last = rows[-1]
+    return ExperimentResult(
+        exp_id="fig14",
+        title="Average load-to-use latency (ns) vs CPU count",
+        headers=["cpus", "GS1280/1.15GHz", "GS320/1.2GHz"],
+        rows=rows,
+        notes=[
+            f"at {last[0]}P: GS320/GS1280 = {last[2] / last[1]:.1f}x "
+            "(paper: ~4x at 16P, growing with size)",
+        ],
+    )

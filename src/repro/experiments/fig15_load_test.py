@@ -1,0 +1,55 @@
+"""Figure 15: the interconnect load test (latency vs delivered bandwidth).
+
+Every CPU reads from random other CPUs with 1..30 outstanding loads.
+GS1280 reaches an order of magnitude more bandwidth with far smaller
+latency growth; past saturation its delivered bandwidth droops slightly
+(the paper's "interesting phenomenon").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.systems import GS320System, GS1280System
+from repro.workloads.loadtest import run_load_test
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    if fast:
+        outstanding = (1, 4, 8, 16, 30)
+        configs = [("GS1280/16P", lambda: GS1280System(16)),
+                   ("GS1280/32P", lambda: GS1280System(32)),
+                   ("GS320/16P", lambda: GS320System(16)),
+                   ("GS320/32P", lambda: GS320System(32))]
+        window, warmup = 8000.0, 3000.0
+    else:
+        outstanding = tuple(range(1, 31))
+        configs = [("GS1280/16P", lambda: GS1280System(16)),
+                   ("GS1280/32P", lambda: GS1280System(32)),
+                   ("GS1280/64P", lambda: GS1280System(64)),
+                   ("GS320/16P", lambda: GS320System(16)),
+                   ("GS320/32P", lambda: GS320System(32))]
+        window, warmup = 12000.0, 4000.0
+    rows = []
+    saturation = {}
+    for label, factory in configs:
+        curve = run_load_test(
+            factory, outstanding, label=label, seed=seed,
+            warmup_ns=warmup, window_ns=window,
+        )
+        saturation[label] = curve.saturation_bandwidth_mbps()
+        for p in curve.points:
+            rows.append([label, p.outstanding, p.bandwidth_mbps, p.latency_ns])
+    ratio = saturation["GS1280/32P"] / saturation["GS320/32P"]
+    return ExperimentResult(
+        exp_id="fig15",
+        title="Load test: latency (ns) vs delivered bandwidth (MB/s)",
+        headers=["system", "outstanding", "bandwidth MB/s", "latency ns"],
+        rows=rows,
+        notes=[
+            f"32P saturation bandwidth ratio GS1280/GS320 = {ratio:.1f}x "
+            "(paper: ~10x, Figure 28's IP-bandwidth bar)",
+            "GS320 latency climbs into the thousands of ns at a few GB/s",
+        ],
+    )

@@ -1,0 +1,49 @@
+"""Figure 22: NAS SP memory and IP-link utilization profile.
+
+Event-driven phase run on the 16P GS1280: the memory phase pushes the
+Zboxes to ~25-40% while the halo exchanges barely register on the IP
+links -- the signature the paper reads off its counters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.systems import GS1280System
+from repro.workloads.nas import sp_profile_phases
+from repro.workloads.phased import PhasedRun
+from repro.xmesh import XmeshMonitor, render_timeseries
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    system = GS1280System(16)
+    iterations = 2 if fast else 6
+    run_ = PhasedRun(system, sp_profile_phases(scale=1 / 64), iterations)
+    monitor = XmeshMonitor(system, interval_ns=2000.0)
+    monitor.start()
+    run_.run()
+    zbox_series = [100 * s.mean_zbox() for s in monitor.samples]
+    link_series = [100 * s.mean_links() for s in monitor.samples]
+    rows = [
+        [i, z, l] for i, (z, l) in enumerate(zip(zbox_series, link_series))
+    ]
+    peak_zbox = max(zbox_series)
+    mean_link = sum(link_series) / len(link_series)
+    chart = render_timeseries(
+        {"memory controllers": zbox_series, "IP links": link_series},
+        title="  SP utilization trace:",
+    )
+    return ExperimentResult(
+        exp_id="fig22",
+        title="NAS SP: memory and IP-link utilization over time (%)",
+        headers=["sample", "memory ctrl %", "IP links %"],
+        rows=rows,
+        extra_text=chart,
+        notes=[
+            f"Zbox peaks at {peak_zbox:.0f}% during solver sweeps "
+            "(paper: ~26% mean, higher in-phase)",
+            f"IP links average {mean_link:.1f}% -- low, as the paper notes "
+            "for MPI codes designed for cluster interconnects",
+        ],
+    )

@@ -1,0 +1,85 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ext01_tail_latency,
+    ext02_io_contention,
+    ext03_shuffle16,
+    fig01_specfp_rate,
+    fig04_dependent_load,
+    fig05_stride_surface,
+    fig06_stream_scaling,
+    fig07_stream_1_4,
+    fig08_ipc_fp,
+    fig09_ipc_int,
+    fig10_util_fp,
+    fig11_util_int,
+    fig12_remote_latency,
+    fig13_latency_map,
+    fig14_latency_scaling,
+    fig15_load_test,
+    fig18_shuffle_loadtest,
+    fig19_fluent,
+    fig20_fluent_util,
+    fig21_nas_sp,
+    fig22_sp_util,
+    fig23_gups,
+    fig24_gups_util,
+    fig25_striping_degradation,
+    fig26_hotspot_striping,
+    fig27_xmesh_hotspot,
+    fig28_summary,
+    tab01_shuffle_model,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01_specfp_rate.run,
+    "fig04": fig04_dependent_load.run,
+    "fig05": fig05_stride_surface.run,
+    "fig06": fig06_stream_scaling.run,
+    "fig07": fig07_stream_1_4.run,
+    "fig08": fig08_ipc_fp.run,
+    "fig09": fig09_ipc_int.run,
+    "fig10": fig10_util_fp.run,
+    "fig11": fig11_util_int.run,
+    "fig12": fig12_remote_latency.run,
+    "fig13": fig13_latency_map.run,
+    "fig14": fig14_latency_scaling.run,
+    "fig15": fig15_load_test.run,
+    "tab01": tab01_shuffle_model.run,
+    "fig18": fig18_shuffle_loadtest.run,
+    "fig19": fig19_fluent.run,
+    "fig20": fig20_fluent_util.run,
+    "fig21": fig21_nas_sp.run,
+    "fig22": fig22_sp_util.run,
+    "fig23": fig23_gups.run,
+    "fig24": fig24_gups_util.run,
+    "fig25": fig25_striping_degradation.run,
+    "fig26": fig26_hotspot_striping.run,
+    "fig27": fig27_xmesh_hotspot.run,
+    "fig28": fig28_summary.run,
+    # Extensions beyond the paper (ext02 is its stated future work).
+    "ext01": ext01_tail_latency.run,
+    "ext02": ext02_io_contention.run,
+    "ext03": ext03_shuffle16.run,
+}
+
+
+def experiment_ids() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str, fast: bool = True, seed: int = 0) -> ExperimentResult:
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {experiment_ids()}"
+        ) from None
+    return runner(fast=fast, seed=seed)

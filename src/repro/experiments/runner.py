@@ -1,0 +1,96 @@
+"""Command-line experiment runner (installed as ``gs1280-repro``).
+
+Usage::
+
+    gs1280-repro list
+    gs1280-repro run fig13 [--full] [--seed N]
+    gs1280-repro all [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import format_result
+from repro.experiments.registry import experiment_ids, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gs1280-repro",
+        description="Reproduce the figures/tables of the GS1280 paper "
+        "(ISCA 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("exp_id", choices=experiment_ids())
+    run_p.add_argument("--full", action="store_true",
+                       help="full-fidelity run (slower)")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--json", action="store_true",
+                       help="emit JSON instead of the text table")
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--full", action="store_true")
+    all_p.add_argument("--seed", type=int, default=0)
+    export_p = sub.add_parser("export", help="write all results to JSON")
+    export_p.add_argument("path", help="output file (e.g. results.json)")
+    export_p.add_argument("--full", action="store_true")
+    export_p.add_argument("--seed", type=int, default=0)
+    chart_p = sub.add_parser("chart", help="render one figure as SVG")
+    chart_p.add_argument("exp_id")
+    chart_p.add_argument("-o", "--out", required=True,
+                         help="output .svg path")
+    chart_p.add_argument("--full", action="store_true")
+    chart_p.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in experiment_ids():
+            print(exp_id)
+        return 0
+    if args.command == "export":
+        from repro.experiments.export import export_results
+
+        document = export_results(args.path, fast=not args.full,
+                                  seed=args.seed)
+        print(f"wrote {len(document['experiments'])} experiments to "
+              f"{args.path}")
+        return 0
+    if args.command == "chart":
+        from pathlib import Path
+
+        from repro.analysis.svgchart import CHART_SPECS, chart_from_result
+
+        if args.exp_id not in CHART_SPECS:
+            print(f"no chart for {args.exp_id!r}; chartable: "
+                  f"{' '.join(sorted(CHART_SPECS))}")
+            return 1
+        result = run_experiment(args.exp_id, fast=not args.full,
+                                seed=args.seed)
+        Path(args.out).write_text(chart_from_result(result).render())
+        print(f"wrote {args.out}")
+        return 0
+    if args.command == "run" and args.json:
+        from repro.experiments.export import result_to_json
+
+        result = run_experiment(args.exp_id, fast=not args.full,
+                                seed=args.seed)
+        print(result_to_json(result))
+        return 0
+    ids = [args.exp_id] if args.command == "run" else experiment_ids()
+    for exp_id in ids:
+        start = time.time()
+        result = run_experiment(exp_id, fast=not args.full, seed=args.seed)
+        print(format_result(result))
+        print(f"  [{exp_id} completed in {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

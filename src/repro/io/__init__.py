@@ -1,0 +1,5 @@
+"""I/O subsystem: IO7 chips with coherent, PCI-paced DMA."""
+
+from repro.io.io7 import DMA_BLOCK_BYTES, Io7Chip
+
+__all__ = ["DMA_BLOCK_BYTES", "Io7Chip"]

@@ -1,0 +1,21 @@
+"""Memory subsystem: RDRAM page model, Zbox controllers, striping maps."""
+
+from repro.memory.rdram import RdramArray
+from repro.memory.striping import (
+    AddressMap,
+    HomeLocation,
+    NodeLocalMap,
+    StripedMap,
+    module_partner,
+)
+from repro.memory.zbox import Zbox
+
+__all__ = [
+    "AddressMap",
+    "HomeLocation",
+    "NodeLocalMap",
+    "RdramArray",
+    "StripedMap",
+    "Zbox",
+    "module_partner",
+]

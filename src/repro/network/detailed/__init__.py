@@ -1,0 +1,13 @@
+"""Flit-level reference model of the 21364 router: virtual channels,
+two-level arbitration, credit flow control, dateline escape routing."""
+
+from repro.network.detailed.flits import FLIT_BYTES, FlitMessage, flits_for
+from repro.network.detailed.router import DetailedTorusNetwork, VC_NAMES
+
+__all__ = [
+    "DetailedTorusNetwork",
+    "FLIT_BYTES",
+    "FlitMessage",
+    "VC_NAMES",
+    "flits_for",
+]

@@ -1,0 +1,422 @@
+"""Cycle-driven, flit-level model of the 21364 router (Section 2).
+
+This is the *reference* implementation of the router mechanisms the
+packet-level fabric abstracts away:
+
+* **Virtual channels**: each coherence class (Request / Forward /
+  Response, plus I/O) owns a deadlock-free VC pair (VC0/VC1, the
+  dateline scheme that breaks intra-dimensional cycles on the torus
+  rings) and -- except I/O -- an **Adaptive** channel that any minimal
+  productive direction may use.  When the adaptive channels fill up,
+  packets sink into the deadlock-free channels, exactly as the paper
+  describes.
+* **Two-level arbitration**: each input port's *local arbiters*
+  nominate up to two candidate head flits per cycle; each output
+  port's *global arbiter* grants one nomination, higher coherence
+  classes first (a Response can never wait behind a Request for the
+  wire).
+* **Credit-based flow control**: finite per-VC flit buffers; a flit
+  moves only when the downstream VC has a free slot, and the credit
+  returns when the flit leaves that buffer.
+* **Deadlock-free escape routing**: dimension order (East-West before
+  North-South) with the VC0->VC1 switch at each ring's dateline; the
+  inter-dimensional order plus the dateline make the escape network
+  cycle-free, so adaptive traffic can always drain.
+
+The model is synchronous: :meth:`DetailedTorusNetwork.step` advances
+one router cycle for every node.  It is orders of magnitude slower
+than the packet-level fabric and exists for validation -- the unit
+tests drive it with tiny buffers and adversarial traffic and assert
+delivery (no deadlock), priority, and adaptivity properties, and an
+ablation benchmark compares it against the packet-level model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import TorusShape
+from repro.network import geometry
+from repro.network.detailed.flits import FlitMessage
+from repro.network.packet import MessageClass
+
+__all__ = ["DetailedTorusNetwork", "VC_NAMES"]
+
+#: Ports of one router: four compass neighbors plus local inject/eject.
+PORTS = ("E", "W", "N", "S")
+INJECT = "INJ"
+EJECT = "EJ"
+
+#: Channel kinds per class.
+VC0, VC1, ADAPTIVE = "vc0", "vc1", "adaptive"
+VC_NAMES = (VC0, VC1, ADAPTIVE)
+
+#: Global-arbiter service order (strongest first).
+CLASS_PRIORITY = {
+    MessageClass.RESPONSE: 0,
+    MessageClass.FORWARD: 1,
+    MessageClass.REQUEST: 2,
+    MessageClass.IO: 3,
+}
+
+
+def _vc_id(msg_class: int, channel: str) -> tuple[int, str]:
+    return (msg_class, channel)
+
+
+def _all_vc_ids() -> list[tuple[int, str]]:
+    out = []
+    for cls in CLASS_PRIORITY:
+        out.append(_vc_id(cls, VC0))
+        out.append(_vc_id(cls, VC1))
+        if cls != MessageClass.IO:  # I/O never rides the adaptive channel
+            out.append(_vc_id(cls, ADAPTIVE))
+    return out
+
+
+class _VcState:
+    """One virtual channel's buffer at one input port."""
+
+    __slots__ = ("buffer", "route", "locked")
+
+    def __init__(self) -> None:
+        # Entries: (message, flit_index, is_tail, crossed_datelines)
+        self.buffer: deque = deque()
+        self.route: tuple[str, tuple[int, str]] | None = None  # (port, vc)
+        self.locked = False  # head flit departed; tail not yet
+
+
+class DetailedTorusNetwork:
+    """A cols x rows torus of flit-level routers."""
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        buffer_flits: int = 8,
+        adaptive: bool = True,
+        pipeline_cycles: int = 0,
+    ) -> None:
+        """``pipeline_cycles`` adds fixed per-hop pipeline latency (the
+        real EV7 spends ~10-13 cycles per router traversal); zero keeps
+        the minimal one-cycle-per-hop model the mechanism tests use."""
+        if buffer_flits < 1:
+            raise ValueError("need at least one flit buffer per VC")
+        if pipeline_cycles < 0:
+            raise ValueError("pipeline_cycles cannot be negative")
+        self.shape = shape
+        self.n_nodes = shape.n_nodes
+        self.buffer_flits = buffer_flits
+        self.adaptive = adaptive
+        self.pipeline_cycles = pipeline_cycles
+        self.cycle = 0
+        # Flits in the inter-router pipeline: FIFO of
+        # (ready_cycle, downstream_node, input_port, vc, entry) --
+        # constant delay keeps it ordered.
+        self._pipeline: deque = deque()
+        self.vc_ids = _all_vc_ids()
+        # inputs[node][port][vc] -> _VcState.  Ports: four neighbors + INJ.
+        self._inputs: list[dict[str, dict[tuple, _VcState]]] = [
+            {
+                port: {vc: _VcState() for vc in self.vc_ids}
+                for port in (*PORTS, INJECT)
+            }
+            for _ in range(self.n_nodes)
+        ]
+        # credits[node][out_port][vc]: free slots in the *downstream*
+        # buffer this node may send into.
+        self._credits: list[dict[str, dict[tuple, int]]] = [
+            {
+                port: {vc: buffer_flits for vc in self.vc_ids}
+                for port in PORTS
+            }
+            for _ in range(self.n_nodes)
+        ]
+        self._rr: list[dict[str, int]] = [
+            {port: 0 for port in (*PORTS, INJECT)} for _ in range(self.n_nodes)
+        ]
+        # Per-class injection FIFOs (the L2, Zbox, and IO ports feed the
+        # router separately, so one class cannot head-of-line block another).
+        self._inject_queues: list[dict[int, deque]] = [
+            {cls: deque() for cls in CLASS_PRIORITY} for _ in range(self.n_nodes)
+        ]
+        # Wormhole VC allocation: a downstream VC belongs to one message
+        # from its head flit until its tail flit has been forwarded.
+        self._vc_owner: list[dict[tuple[str, tuple], int | None]] = [
+            {(port, vc): None for port in PORTS for vc in self.vc_ids}
+            for _ in range(self.n_nodes)
+        ]
+        self.delivered: list[FlitMessage] = []
+        self.flits_moved = 0
+        self._in_flight = 0
+        # Dateline-crossing state travels per (message id, dimension).
+        self._crossed: dict[int, list[bool]] = {}
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+    def neighbor(self, node: int, port: str) -> int:
+        col, row = geometry.coords_of(self.shape, node)
+        if port == "E":
+            return geometry.node_at(self.shape, col + 1, row)
+        if port == "W":
+            return geometry.node_at(self.shape, col - 1, row)
+        if port == "S":
+            return geometry.node_at(self.shape, col, row + 1)
+        if port == "N":
+            return geometry.node_at(self.shape, col, row - 1)
+        raise ValueError(f"unknown port {port!r}")
+
+    _OPPOSITE = {"E": "W", "W": "E", "N": "S", "S": "N"}
+
+    def _productive_ports(self, node: int, dst: int) -> list[str]:
+        nc, nr = geometry.coords_of(self.shape, node)
+        dc, dr = geometry.coords_of(self.shape, dst)
+        ports = []
+        cols, rows = self.shape.cols, self.shape.rows
+        if nc != dc:
+            fwd = (dc - nc) % cols
+            if fwd <= cols - fwd:
+                ports.append("E")
+            if cols - fwd <= fwd:
+                ports.append("W")
+        if nr != dr:
+            fwd = (dr - nr) % rows
+            if fwd <= rows - fwd:
+                ports.append("S")
+            if rows - fwd <= fwd:
+                ports.append("N")
+        return ports
+
+    def _escape_port(self, node: int, dst: int) -> str:
+        """Dimension-order: finish East-West before North-South."""
+        nc, nr = geometry.coords_of(self.shape, node)
+        dc, dr = geometry.coords_of(self.shape, dst)
+        if nc != dc:
+            fwd = (dc - nc) % self.shape.cols
+            return "E" if fwd <= self.shape.cols - fwd else "W"
+        fwd = (dr - nr) % self.shape.rows
+        return "S" if fwd <= self.shape.rows - fwd else "N"
+
+    def _crosses_dateline(self, node: int, port: str) -> bool:
+        """The dateline sits on each ring's wraparound edge."""
+        col, row = geometry.coords_of(self.shape, node)
+        if port == "E":
+            return col == self.shape.cols - 1
+        if port == "W":
+            return col == 0
+        if port == "S":
+            return row == self.shape.rows - 1
+        return row == 0  # N
+
+    # ------------------------------------------------------------------
+    # injection / draining
+    # ------------------------------------------------------------------
+    def inject(self, msg: FlitMessage) -> None:
+        msg.injected_cycle = self.cycle
+        self._crossed[msg.msg_id] = [False, False]
+        self._inject_queues[msg.src][msg.msg_class].append(msg)
+        self._in_flight += 1
+
+    def run(self, max_cycles: int = 100_000) -> None:
+        """Step until everything injected so far is delivered."""
+        start = self.cycle
+        while self._in_flight > 0:
+            if self.cycle - start >= max_cycles:
+                raise RuntimeError(
+                    f"{self._in_flight} messages undelivered after "
+                    f"{max_cycles} cycles (deadlock or starvation?)"
+                )
+            self.step()
+
+    # ------------------------------------------------------------------
+    # one router cycle, all nodes
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        self._land_pipeline_flits()
+        self._drain_inject_queues()
+        moves = []
+        for node in range(self.n_nodes):
+            moves.extend(self._arbitrate(node))
+        for move in moves:
+            self._apply(move)
+        self._eject()
+        self.cycle += 1
+
+    def _land_pipeline_flits(self) -> None:
+        while self._pipeline and self._pipeline[0][0] <= self.cycle:
+            _ready, node, port, vc, entry = self._pipeline.popleft()
+            self._inputs[node][port][vc].buffer.append(entry)
+
+    def _drain_inject_queues(self) -> None:
+        """New messages enter the injection port's VC buffers whole
+        (the local L2/Zbox queues are effectively deep)."""
+        for node in range(self.n_nodes):
+            for msg_class, queue in self._inject_queues[node].items():
+                while queue:
+                    msg = queue[0]
+                    channel = (
+                        ADAPTIVE
+                        if self.adaptive and msg_class != MessageClass.IO
+                        else VC0
+                    )
+                    vc = self._inputs[node][INJECT][_vc_id(msg_class, channel)]
+                    # An empty injection VC always admits one whole
+                    # message, however small the configured buffers --
+                    # otherwise a multi-flit Response could starve
+                    # behind a capacity check it can never satisfy.
+                    if vc.buffer and (
+                        len(vc.buffer) + msg.n_flits > 4 * self.buffer_flits
+                    ):
+                        break  # injection buffer full; retry next cycle
+                    queue.popleft()
+                    for flit in range(msg.n_flits):
+                        vc.buffer.append((msg, flit, flit == msg.n_flits - 1))
+
+    def _arbitrate(self, node: int) -> list[tuple]:
+        """Local + global arbitration for one node; returns moves."""
+        nominations: dict[str, list[tuple]] = {}
+        for port in (*PORTS, INJECT):
+            vcs = self._inputs[node][port]
+            start = self._rr[node][port]
+            nominated = 0
+            for offset in range(len(self.vc_ids)):
+                if nominated >= 2:  # two local arbiters per input port
+                    break
+                vc_key = self.vc_ids[(start + offset) % len(self.vc_ids)]
+                vc = vcs[vc_key]
+                if not vc.buffer:
+                    continue
+                msg, flit, is_tail = vc.buffer[0]
+                if vc.route is None:
+                    route = self._compute_route(node, msg)
+                    if route is None:
+                        continue  # every candidate VC is out of credits
+                    vc.route = route
+                out_port, out_vc = vc.route
+                if out_port != EJECT and self._credits[node][out_port][out_vc] <= 0:
+                    if not vc.locked:
+                        vc.route = None  # re-route next cycle (still head)
+                    continue
+                nominations.setdefault(out_port, []).append(
+                    (CLASS_PRIORITY[msg.msg_class], port, vc_key, vc)
+                )
+                nominated += 1
+            self._rr[node][port] = (start + 1) % len(self.vc_ids)
+        moves = []
+        for out_port, candidates in nominations.items():
+            candidates.sort(key=lambda c: (c[0], c[1], c[2]))
+            _prio, in_port, vc_key, vc = candidates[0]
+            moves.append((node, in_port, vc_key, vc))
+        return moves
+
+    def _compute_route(self, node: int, msg: FlitMessage):
+        """Choose (output port, downstream VC) for a head flit."""
+        if msg.dst == node:
+            return (EJECT, None)
+        # Adaptive first: the productive port with the most credit.
+        owners = self._vc_owner[node]
+        if self.adaptive and msg.msg_class != MessageClass.IO:
+            best = None
+            for port in self._productive_ports(node, msg.dst):
+                vc = _vc_id(msg.msg_class, ADAPTIVE)
+                if owners[(port, vc)] is not None:
+                    continue  # VC busy with another wormhole
+                credit = self._credits[node][port][vc]
+                if credit > 0 and (best is None or credit > best[0]):
+                    best = (credit, port, vc)
+            if best is not None:
+                return (best[1], best[2])
+        # Escape: dimension-order with the dateline VC switch.
+        port = self._escape_port(node, msg.dst)
+        dim = 0 if port in ("E", "W") else 1
+        crossed = self._crossed[msg.msg_id][dim]
+        channel = VC1 if crossed else VC0
+        vc = _vc_id(msg.msg_class, channel)
+        if owners[(port, vc)] is None and self._credits[node][port][vc] > 0:
+            return (port, vc)
+        return None
+
+    def _apply(self, move: tuple) -> None:
+        node, in_port, _vc_key, vc = move
+        if not vc.buffer:
+            return  # raced with another grant this cycle
+        msg, flit, is_tail = vc.buffer[0]
+        out_port, out_vc = vc.route
+        if out_port != EJECT and self._credits[node][out_port][out_vc] <= 0:
+            return
+        vc.buffer.popleft()
+        self.flits_moved += 1
+        # Return the credit for the slot this flit just vacated.
+        if in_port in PORTS:
+            upstream = self.neighbor(node, in_port)
+            self._credits[upstream][self._OPPOSITE[in_port]][_vc_key] += 1
+        if out_port == EJECT:
+            if is_tail:
+                msg.delivered_cycle = self.cycle
+                self.delivered.append(msg)
+                self._in_flight -= 1
+                del self._crossed[msg.msg_id]
+        else:
+            self._credits[node][out_port][out_vc] -= 1
+            downstream = self.neighbor(node, out_port)
+            entry = (msg, flit, is_tail)
+            if self.pipeline_cycles > 0:
+                self._pipeline.append(
+                    (self.cycle + self.pipeline_cycles, downstream,
+                     self._OPPOSITE[out_port], out_vc, entry)
+                )
+            else:
+                down_vc = self._inputs[downstream][self._OPPOSITE[out_port]][out_vc]
+                down_vc.buffer.append(entry)
+            if flit == 0:
+                self._vc_owner[node][(out_port, out_vc)] = msg.msg_id
+                msg.hops += 1
+                if self._crosses_dateline(node, out_port):
+                    dim = 0 if out_port in ("E", "W") else 1
+                    self._crossed[msg.msg_id][dim] = True
+                if out_vc[1] != ADAPTIVE:
+                    msg.vc_switches += 1
+            if is_tail:
+                self._vc_owner[node][(out_port, out_vc)] = None
+        if is_tail:
+            vc.route = None
+            vc.locked = False
+        else:
+            vc.locked = True
+
+    def _eject(self) -> None:
+        # Ejection handled inline in _apply (EJ moves).  Kept as a hook
+        # for models with finite ejection bandwidth.
+        return None
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def mean_latency_cycles(self) -> float:
+        if not self.delivered:
+            raise ValueError("nothing delivered yet")
+        return sum(m.latency_cycles for m in self.delivered) / len(self.delivered)
+
+    def credit_invariant_holds(self) -> bool:
+        """Every credit counter must stay within [0, buffer size] and
+        match the free space of the buffer it mirrors (flits still in
+        the inter-router pipeline count against their target buffer)."""
+        in_flight: dict[tuple, int] = {}
+        for _ready, node, port, vc, _entry in self._pipeline:
+            key = (node, port, vc)
+            in_flight[key] = in_flight.get(key, 0) + 1
+        for node in range(self.n_nodes):
+            for port in PORTS:
+                downstream = self.neighbor(node, port)
+                down_port = self._OPPOSITE[port]
+                for vc in self.vc_ids:
+                    credit = self._credits[node][port][vc]
+                    if not 0 <= credit <= self.buffer_flits:
+                        return False
+                    occupied = len(
+                        self._inputs[downstream][down_port][vc].buffer
+                    )
+                    pipelined = in_flight.get((downstream, down_port, vc), 0)
+                    if credit + occupied + pipelined != self.buffer_flits:
+                        return False
+        return True

@@ -1,0 +1,204 @@
+"""Fabric assemblies: a torus of EV7 routers, and the GS320/ES45 switch
+hierarchies, behind one injection interface.
+
+A *fabric* owns the routers and links of a machine and delivers packets
+to per-node agents (the coherence layer).  Two implementations:
+
+* :class:`TorusFabric` -- GS1280: one :class:`~repro.network.router.Router`
+  per CPU, a pair of directed :class:`~repro.network.link.Link` objects
+  per torus edge, wire delays by physical link class.
+* :class:`SwitchFabric` -- GS320 and ES45: packets traverse a fixed
+  chain of shared switch links (local QBB switch, global-switch uplink
+  and downlink).  There is no adaptivity; contention appears as queueing
+  on the shared links, which is exactly the behaviour the paper's load
+  test exposes (Fig 15).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.config import ES45Config, GS1280Config, GS320Config, LinkClass
+from repro.network.link import Link
+from repro.network.packet import Packet
+from repro.network.router import Router, RoutingPolicy
+from repro.network.topology import Topology
+from repro.sim import Simulator
+
+__all__ = ["FabricBase", "TorusFabric", "SwitchFabric"]
+
+
+class FabricBase:
+    """Common interface: inject packets, register delivery agents."""
+
+    def __init__(self, sim: Simulator, n_nodes: int) -> None:
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self._agents: dict[int, Callable[[Packet], None]] = {}
+
+    def register_agent(self, node: int, agent: Callable[[Packet], None]) -> None:
+        self._agents[node] = agent
+
+    def deliver(self, packet: Packet) -> None:
+        agent = self._agents.get(packet.dst)
+        if agent is None:
+            raise RuntimeError(f"no agent registered at node {packet.dst}")
+        agent(packet)
+
+    def inject(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def links(self) -> Iterable[Link]:
+        raise NotImplementedError
+
+
+class TorusFabric(FabricBase):
+    """The GS1280 interconnect: routers on a (possibly shuffled) torus."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: GS1280Config,
+        policy: RoutingPolicy | None = None,
+    ) -> None:
+        super().__init__(sim, topology.n_nodes)
+        self.topology = topology
+        self.config = config
+        self.policy = policy or RoutingPolicy(adaptive=True)
+        self.routers: list[Router] = [
+            Router(
+                sim,
+                node,
+                topology,
+                config.router,
+                self.policy,
+                deliver=self.deliver,
+            )
+            for node in range(topology.n_nodes)
+        ]
+        self._links: list[Link] = []
+        priority = getattr(config, "vc_class_priority", True)
+        for a, b, cls, shuffle in topology.edges():
+            wire = config.wire_ns[cls]
+            fwd = Link(sim, a, b, config.link_bw_gbps, wire, cls, shuffle,
+                       class_priority=priority)
+            rev = Link(sim, b, a, config.link_bw_gbps, wire, cls, shuffle,
+                       class_priority=priority)
+            self.routers[a].attach_link(fwd, self.routers[b].receive)
+            self.routers[b].attach_link(rev, self.routers[a].receive)
+            self._links.extend((fwd, rev))
+
+    def inject(self, packet: Packet) -> None:
+        self.routers[packet.src].inject(packet)
+
+    def links(self) -> list[Link]:
+        return self._links
+
+    def links_from(self, node: int) -> list[Link]:
+        return [l for l in self._links if l.src == node]
+
+
+class SwitchFabric(FabricBase):
+    """GS320 (QBB + hierarchical switch) or ES45 (single crossbar).
+
+    Every CPU belongs to a group of ``cpus_per_group``.  Messages within
+    a group traverse the group's local-switch link once; messages across
+    groups traverse source local switch, the source group's uplink and
+    the destination group's downlink (the global-switch crossing is
+    folded into the up/down wire delays), then the destination local
+    switch.  All of these are shared, contended links.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_cpus: int,
+        cpus_per_group: int,
+        local_switch_bw_gbps: float,
+        local_switch_ns: float,
+        uplink_bw_gbps: float,
+        global_switch_ns: float,
+        congestion_penalty_ns: float = 0.0,
+    ) -> None:
+        super().__init__(sim, n_cpus)
+        if cpus_per_group < 1:
+            raise ValueError("cpus_per_group must be >= 1")
+        self.cpus_per_group = cpus_per_group
+        self.n_groups = (n_cpus + cpus_per_group - 1) // cpus_per_group
+        self.congestion_penalty_ns = congestion_penalty_ns
+        self._local: list[Link] = []
+        self._up: list[Link] = []
+        self._down: list[Link] = []
+        for g in range(self.n_groups):
+            self._local.append(
+                Link(sim, g, g, local_switch_bw_gbps, local_switch_ns,
+                     LinkClass.SWITCH)
+            )
+            self._up.append(
+                Link(sim, g, -1, uplink_bw_gbps, global_switch_ns / 2,
+                     LinkClass.SWITCH)
+            )
+            self._down.append(
+                Link(sim, -1, g, uplink_bw_gbps, global_switch_ns / 2,
+                     LinkClass.SWITCH)
+            )
+
+    def group_of(self, cpu: int) -> int:
+        return cpu // self.cpus_per_group
+
+    def inject(self, packet: Packet) -> None:
+        packet.injected_at = self.sim.now
+        src_g = self.group_of(packet.src)
+        dst_g = self.group_of(packet.dst)
+        if src_g == dst_g:
+            chain = [self._local[src_g]]
+        else:
+            chain = [self._local[src_g], self._up[src_g], self._down[dst_g]]
+        self._traverse(packet, chain, 0)
+
+    def _traverse(self, packet: Packet, chain: list[Link], index: int) -> None:
+        if index == len(chain):
+            self.deliver(packet)
+            return
+        link = chain[index]
+        packet.hops += 1
+        delay = self.congestion_penalty_ns * link.queued_packets()
+
+        def arrived(pkt: Packet, _chain=chain, _next=index + 1) -> None:
+            self._traverse(pkt, _chain, _next)
+
+        if delay > 0:
+            self.sim.schedule(delay, link.submit, packet, arrived)
+        else:
+            link.submit(packet, arrived)
+
+    def links(self) -> list[Link]:
+        return self._local + self._up + self._down
+
+    @classmethod
+    def for_gs320(cls, sim: Simulator, config: GS320Config) -> "SwitchFabric":
+        return cls(
+            sim,
+            n_cpus=config.n_cpus,
+            cpus_per_group=config.cpus_per_qbb,
+            local_switch_bw_gbps=config.qbb_memory_bw_gbps,
+            local_switch_ns=config.local_switch_ns,
+            uplink_bw_gbps=config.qbb_link_bw_gbps,
+            global_switch_ns=config.global_switch_ns,
+            congestion_penalty_ns=config.switch_congestion_penalty_ns,
+        )
+
+    @classmethod
+    def for_es45(cls, sim: Simulator, config: ES45Config) -> "SwitchFabric":
+        # A single crossbar: one group; the up/down links exist but are
+        # never used because every CPU shares the group.
+        return cls(
+            sim,
+            n_cpus=config.n_cpus,
+            cpus_per_group=max(4, config.n_cpus),
+            local_switch_bw_gbps=config.memory_bus_bw_gbps,
+            local_switch_ns=config.crossbar_ns,
+            uplink_bw_gbps=1.0,
+            global_switch_ns=0.0,
+        )

@@ -1,0 +1,75 @@
+"""Coordinate arithmetic for 2-D torus networks.
+
+Nodes are integers ``0..N-1`` laid out row-major on a ``cols x rows``
+grid: node ``i`` sits at column ``i % cols``, row ``i // cols``.  Figure
+13 of the paper numbers the 16-CPU machine the same way (node 0 top-left,
+rows of four).
+"""
+
+from __future__ import annotations
+
+from repro.config import TorusShape
+
+__all__ = [
+    "node_at",
+    "coords_of",
+    "ring_distance",
+    "torus_distance",
+    "minimal_directions",
+]
+
+
+def node_at(shape: TorusShape, col: int, row: int) -> int:
+    """Node id at (col, row), with toroidal wraparound."""
+    return (row % shape.rows) * shape.cols + (col % shape.cols)
+
+
+def coords_of(shape: TorusShape, node: int) -> tuple[int, int]:
+    """(col, row) of a node id."""
+    if not 0 <= node < shape.n_nodes:
+        raise ValueError(f"node {node} outside 0..{shape.n_nodes - 1}")
+    return node % shape.cols, node // shape.cols
+
+
+def ring_distance(a: int, b: int, size: int) -> int:
+    """Hop distance between positions ``a`` and ``b`` on a ring."""
+    d = abs(a - b) % size
+    return min(d, size - d)
+
+
+def torus_distance(shape: TorusShape, a: int, b: int) -> int:
+    """Minimal hop count between two nodes of a standard 2-D torus."""
+    ac, ar = coords_of(shape, a)
+    bc, br = coords_of(shape, b)
+    return ring_distance(ac, bc, shape.cols) + ring_distance(ar, br, shape.rows)
+
+
+def minimal_directions(shape: TorusShape, src: int, dst: int) -> list[int]:
+    """Neighbors of ``src`` that lie on some minimal path to ``dst``.
+
+    This is the productive-direction set of minimal adaptive routing on a
+    plain torus.  (The general fabric uses BFS-derived tables so that
+    shuffle and switch topologies are handled uniformly; this closed form
+    exists for fast checks and property tests.)
+    """
+    if src == dst:
+        return []
+    sc, sr = coords_of(shape, src)
+    dc, dr = coords_of(shape, dst)
+    out: list[int] = []
+    for axis, size, s, d in (("x", shape.cols, sc, dc), ("y", shape.rows, sr, dr)):
+        if s == d:
+            continue
+        fwd = (d - s) % size
+        bwd = (s - d) % size
+        steps: list[int] = []
+        if fwd <= bwd:
+            steps.append(1)
+        if bwd <= fwd:
+            steps.append(-1)
+        for step in steps:
+            if axis == "x":
+                out.append(node_at(shape, s + step, sr))
+            else:
+                out.append(node_at(shape, sc, s + step))
+    return out

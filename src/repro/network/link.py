@@ -1,0 +1,173 @@
+"""Unidirectional link with per-class virtual-channel queues.
+
+The 21364 multiplexes each physical link among virtual channels so that
+each coherence class drains independently and a Response can never block
+behind a Request (Section 2).  At packet granularity we model that as
+one queue per message class with strict class-priority service:
+Responses first, then Forwards, then Requests, then I/O.
+
+A link reserves its wire for ``size/bandwidth`` nanoseconds per packet
+(bandwidth is conserved at every hop) and adds a wire-class propagation
+delay.  Latency approximates virtual cut-through: serialization reaches
+the latency path once, at the packet's first link; later hops pipeline
+the flits and pay queueing + wire only.
+
+Utilization counters are cumulative busy-nanoseconds; the Xmesh monitor
+differences them over sampling windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.network.packet import MessageClass, Packet
+from repro.sim import Simulator
+
+__all__ = ["Link", "DRAIN_ORDER"]
+
+#: Service order of the per-class virtual channels (first drains first).
+DRAIN_ORDER = (
+    MessageClass.RESPONSE,
+    MessageClass.FORWARD,
+    MessageClass.REQUEST,
+    MessageClass.IO,
+)
+
+
+class Link:
+    """One direction of a physical inter-processor link."""
+
+    __slots__ = (
+        "sim",
+        "src",
+        "dst",
+        "bandwidth_gbps",
+        "wire_ns",
+        "link_class",
+        "is_shuffle",
+        "class_priority",
+        "_queues",
+        "_queued_bytes",
+        "_busy",
+        "_seq",
+        "_priority_streak",
+        "busy_until",
+        "busy_ns_total",
+        "bytes_total",
+        "packets_total",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: int,
+        dst: int,
+        bandwidth_gbps: float,
+        wire_ns: float,
+        link_class: str,
+        is_shuffle: bool = False,
+        class_priority: bool = True,
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_gbps = bandwidth_gbps
+        self.wire_ns = wire_ns
+        self.link_class = link_class
+        self.is_shuffle = is_shuffle
+        # class_priority=False collapses the virtual channels into one
+        # FIFO -- the ablation knob showing why the 21364 splits them.
+        self.class_priority = class_priority
+        self._queues: dict[int, deque] = {cls: deque() for cls in DRAIN_ORDER}
+        self._queued_bytes = 0
+        self._busy = False
+        self._seq = 0
+        self._priority_streak = 0
+        self.busy_until = 0.0
+        self.busy_ns_total = 0.0
+        self.bytes_total = 0
+        self.packets_total = 0
+
+    # -- congestion metrics (drive adaptive routing) ---------------------
+    def backlog_ns(self) -> float:
+        """Estimated wait for a packet submitted now: queued bytes plus
+        the remainder of the in-flight packet."""
+        remaining = max(0.0, self.busy_until - self.sim.now)
+        return remaining + self._queued_bytes / self.bandwidth_gbps
+
+    def queued_packets(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    # -- transmission ----------------------------------------------------
+    def submit(self, packet: Packet, on_arrival: Callable[[Packet], None]) -> None:
+        """Enqueue a packet on its class's virtual channel."""
+        self._queues[packet.msg_class].append((self._seq, packet, on_arrival))
+        self._seq += 1
+        self._queued_bytes += packet.size_bytes
+        if not self._busy:
+            self._start_next()
+
+    def _pick_fifo(self):
+        """The oldest packet across every class (also the ablation mode)."""
+        best_cls = None
+        for cls in DRAIN_ORDER:
+            queue = self._queues[cls]
+            if queue and (best_cls is None or
+                          queue[0][0] < self._queues[best_cls][0][0]):
+                best_cls = cls
+        return self._queues[best_cls].popleft() if best_cls is not None else None
+
+    def _pick_next(self):
+        if not self.class_priority:
+            return self._pick_fifo()
+        # Real VCs multiplex the wire flit by flit, so a higher class
+        # jumps the queue but cannot *starve* a lower one indefinitely:
+        # after a few consecutive priority wins with lower traffic
+        # waiting, age wins one slot.
+        for rank, cls in enumerate(DRAIN_ORDER):
+            queue = self._queues[cls]
+            if not queue:
+                continue
+            lower_waiting = any(
+                self._queues[c] for c in DRAIN_ORDER[rank + 1:]
+            )
+            if lower_waiting and self._priority_streak >= 3:
+                self._priority_streak = 0
+                return self._pick_fifo()
+            self._priority_streak = self._priority_streak + 1 if lower_waiting else 0
+            return queue.popleft()
+        return None
+
+    def _start_next(self) -> None:
+        entry = self._pick_next()
+        if entry is None:
+            self._busy = False
+            return
+        _seq, packet, on_arrival = entry
+        self._busy = True
+        self._queued_bytes -= packet.size_bytes
+        ser_ns = packet.size_bytes / self.bandwidth_gbps  # GB/s == bytes/ns
+        self.busy_until = self.sim.now + ser_ns
+        self.busy_ns_total += ser_ns
+        self.bytes_total += packet.size_bytes
+        self.packets_total += 1
+        # Head arrival: cut-through packets overlap serialization with the
+        # wire flight; first-link packets are stored-and-forwarded.
+        head_delay = self.wire_ns + (ser_ns if not packet.serialized else 0.0)
+        packet.serialized = True
+        self.sim.schedule(head_delay, on_arrival, packet)
+        self.sim.schedule(ser_ns, self._wire_free)
+
+    def _wire_free(self) -> None:
+        self._busy = False
+        self._start_next()
+
+    def utilization_since(self, busy_ns_at_start: float, window_ns: float) -> float:
+        """Fraction of ``window_ns`` the wire was busy, given the
+        cumulative busy counter captured at the window start."""
+        if window_ns <= 0:
+            return 0.0
+        return min(1.0, (self.busy_ns_total - busy_ns_at_start) / window_ns)

@@ -1,0 +1,88 @@
+"""Network packets and coherence message classes.
+
+The 21364 coherence protocol uses three packet classes -- Requests,
+Forwards, and Responses -- each with its own virtual-channel set so that
+Responses can always drain ahead of Requests (Section 2).  The
+packet-level simulator keeps the class on every packet: classes feed the
+per-class queue accounting in routers, and the class ordering invariant
+(a Response never waits behind a Request for a *buffer*) is approximated
+by class-priority arbitration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.config import (
+    ACK_BYTES,
+    DATA_RESPONSE_BYTES,
+    FORWARD_BYTES,
+    REQUEST_BYTES,
+)
+
+__all__ = ["MessageClass", "Packet", "PACKET_BYTES"]
+
+
+class MessageClass:
+    """Coherence packet classes, in increasing drain priority."""
+
+    REQUEST = 0
+    FORWARD = 1
+    RESPONSE = 2
+    IO = 3
+
+    NAMES = {REQUEST: "Request", FORWARD: "Forward", RESPONSE: "Response", IO: "IO"}
+
+
+PACKET_BYTES = {
+    MessageClass.REQUEST: REQUEST_BYTES,
+    MessageClass.FORWARD: FORWARD_BYTES,
+    MessageClass.RESPONSE: DATA_RESPONSE_BYTES,
+    MessageClass.IO: ACK_BYTES,
+}
+
+
+class Packet:
+    """One coherence message in flight.
+
+    ``payload`` is opaque to the network; the coherence layer stores the
+    transaction it belongs to.  ``on_delivery`` fires at the destination
+    router once the packet fully arrives.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "msg_class",
+        "size_bytes",
+        "payload",
+        "on_delivery",
+        "injected_at",
+        "hops",
+        "serialized",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        msg_class: int,
+        size_bytes: int | None = None,
+        payload: Any = None,
+        on_delivery: Callable[["Packet"], None] | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.msg_class = msg_class
+        self.size_bytes = (
+            PACKET_BYTES[msg_class] if size_bytes is None else size_bytes
+        )
+        self.payload = payload
+        self.on_delivery = on_delivery
+        self.injected_at: float = -1.0
+        self.hops: int = 0
+        self.serialized = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = MessageClass.NAMES.get(self.msg_class, "?")
+        return f"<Packet {name} {self.src}->{self.dst} {self.size_bytes}B hops={self.hops}>"

@@ -1,0 +1,162 @@
+"""EV7-style router model.
+
+Each 21364 router routes packets from its input ports (local L2/Zbox/IO
+and the four torus neighbors) to output ports through two arbitration
+levels: local arbiters nominate one candidate per input port, a global
+arbiter per output port picks among nominations (Section 2).  At packet
+granularity we model:
+
+* a fixed pipeline latency per routing decision,
+* a routing-throughput limit (one decision per ``route_slot_ns``,
+  standing in for the local-arbiter nomination rate),
+* minimal **adaptive** output selection: among the neighbors that lie on
+  a minimal path, pick the output link with the smallest backlog
+  (21364's adaptive channel), falling back deterministically on ties in
+  dimension order -- which is also the deadlock-free escape order
+  (East-West before North-South),
+* a congestion penalty proportional to the chosen output's queue depth,
+  standing in for VC contention and global-arbiter conflicts near
+  saturation (this term reproduces Fig 15's post-saturation droop).
+
+Shuffle routing policies (Fig 18) are expressed through
+``max_shuffle_hops``: 1 = shuffle links only as the initial hop, 2 =
+first and second hops, ``None`` = unrestricted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import RouterConfig
+from repro.network.link import Link
+from repro.network.packet import Packet
+from repro.network.topology import Topology
+from repro.sim import Simulator
+
+__all__ = ["Router", "RoutingPolicy"]
+
+
+class RoutingPolicy:
+    """Routing knobs shared by all routers of a fabric."""
+
+    __slots__ = ("adaptive", "max_shuffle_hops")
+
+    def __init__(self, adaptive: bool = True, max_shuffle_hops: int | None = None):
+        self.adaptive = adaptive
+        self.max_shuffle_hops = max_shuffle_hops
+
+
+class Router:
+    """One node's router: forwards packets toward their destination."""
+
+    __slots__ = (
+        "sim",
+        "node",
+        "topology",
+        "config",
+        "policy",
+        "out_links",
+        "_receivers",
+        "deliver",
+        "_route_free_at",
+        "route_slot_ns",
+        "packets_routed",
+        "packets_delivered",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        topology: Topology,
+        config: RouterConfig,
+        policy: RoutingPolicy,
+        deliver: Callable[[Packet], None],
+        route_slot_ns: float = 1.3,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.topology = topology
+        self.config = config
+        self.policy = policy
+        self.out_links: dict[int, Link] = {}
+        self._receivers: dict[int, Callable[[Packet], None]] = {}
+        self.deliver = deliver
+        self._route_free_at = 0.0
+        self.route_slot_ns = route_slot_ns
+        self.packets_routed = 0
+        self.packets_delivered = 0
+
+    def attach_link(self, link: Link, receiver: Callable[[Packet], None]) -> None:
+        """Register the outgoing ``link`` and the neighbor's receive
+        callback that packets sent on it should arrive at."""
+        self.out_links[link.dst] = link
+        self._receivers[link.dst] = receiver
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """A packet's head has arrived at this router."""
+        if packet.dst == self.node:
+            self.packets_delivered += 1
+            self.deliver(packet)
+            return
+        self._forward(packet)
+
+    def inject(self, packet: Packet) -> None:
+        """A local agent (L2 miss path, Zbox, IO) sends a new packet."""
+        packet.injected_at = self.sim.now
+        if packet.dst == self.node:
+            # Local loopback (striped controller pair, IO): deliver after
+            # the pipeline only.
+            self.sim.schedule(self.config.pipeline_ns, self.deliver, packet)
+            return
+        self._forward(packet)
+
+    # ------------------------------------------------------------------
+    def _forward(self, packet: Packet) -> None:
+        self.packets_routed += 1
+        delay = self.config.pipeline_ns
+        # Routing-throughput limit: one decision per slot.
+        now = self.sim.now
+        start = max(now, self._route_free_at)
+        self._route_free_at = start + self.route_slot_ns
+        delay += start - now
+        # The adaptive output choice happens at the end of the pipeline,
+        # when the VC backlogs it reads are current.
+        self.sim.schedule(delay, self._inject_on_link, packet)
+
+    def _inject_on_link(self, packet: Packet) -> None:
+        link = self._choose_output(packet)
+        packet.hops += 1
+        # Congestion-dependent arbitration overhead (VC contention and
+        # global-arbiter conflicts grow with the queue it joins).
+        penalty = self.config.congestion_penalty_ns_per_queued_packet
+        queued = link.queued_packets()
+        if penalty and queued:
+            self.sim.schedule(
+                penalty * queued, link.submit, packet, self._receivers[link.dst]
+            )
+        else:
+            link.submit(packet, self._receivers[link.dst])
+
+    def _choose_output(self, packet: Packet) -> Link:
+        candidates = self.topology.minimal_next_hops(
+            self.node,
+            packet.dst,
+            max_shuffle_hops=self.policy.max_shuffle_hops,
+            hops_taken=packet.hops,
+        )
+        if not candidates:
+            raise RuntimeError(
+                f"router {self.node}: no route toward {packet.dst}"
+            )
+        if len(candidates) == 1 or not self.policy.adaptive:
+            return self.out_links[candidates[0]]
+        best = None
+        best_key = None
+        for nxt in candidates:
+            link = self.out_links[nxt]
+            key = (link.backlog_ns(), nxt)
+            if best_key is None or key < best_key:
+                best, best_key = link, key
+        return best

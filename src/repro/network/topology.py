@@ -1,0 +1,302 @@
+"""Interconnect topologies.
+
+Three families are modelled:
+
+* :class:`TorusTopology` -- the standard GS1280 2-D torus (Figure 3),
+  with physical link classes (module / backplane / cable) that carry
+  different wire delays, reproducing the latency spread of Figure 13.
+* :class:`ShuffleTopology` -- the paper's "shuffle" re-cabling
+  (Section 4.1, Figures 16/17): on two-row machines the redundant
+  North-South links are re-pointed at the furthest node; on taller
+  machines the long-dimension wraparounds are twisted by half the
+  orthogonal extent.  Both constructions reproduce the corresponding
+  Table 1 rows exactly (4x2 and 4x4); see EXPERIMENTS.md for the larger
+  idealized shapes.
+* :class:`SwitchTopology` -- the GS320 hierarchy (CPU - QBB switch -
+  global switch) flattened to CPU endpoints with per-hop switch classes.
+
+All topologies expose the same interface: integer nodes, a neighbor
+map with link classes, BFS distance tables, and minimal next-hop sets,
+so one router/fabric implementation serves every machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import LinkClass, TorusShape
+from repro.network import geometry
+
+__all__ = [
+    "Topology",
+    "TorusTopology",
+    "ShuffleTopology",
+    "build_gs1280_topology",
+]
+
+
+class Topology:
+    """An undirected multigraph of nodes with classed links.
+
+    Subclasses populate ``self._adj`` (node -> list of (neighbor,
+    link_class, shuffle_flag) tuples) in their constructor and then call
+    :meth:`_finalize` to build routing tables.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("topology needs at least one node")
+        self.n_nodes = n_nodes
+        self._adj: dict[int, list[tuple[int, str, bool]]] = {
+            n: [] for n in range(n_nodes)
+        }
+        self._dist: list[list[int]] = []
+        self._dist_base: list[list[int]] = []
+
+    # -- construction ---------------------------------------------------
+    def _add_link(self, a: int, b: int, link_class: str, shuffle: bool = False):
+        """Add an undirected link; parallel links are collapsed."""
+        if a == b:
+            raise ValueError(f"self-link at node {a}")
+        if any(n == b for n, _, _ in self._adj[a]):
+            return  # collapse parallel physical links (no extra graph edge)
+        self._adj[a].append((b, link_class, shuffle))
+        self._adj[b].append((a, link_class, shuffle))
+
+    def _finalize(self) -> None:
+        self._dist = [self._bfs(src, use_shuffle=True) for src in range(self.n_nodes)]
+        if self.has_shuffle_links():
+            self._dist_base = [
+                self._bfs(src, use_shuffle=False) for src in range(self.n_nodes)
+            ]
+        else:
+            self._dist_base = self._dist
+
+    def _bfs(self, src: int, use_shuffle: bool) -> list[int]:
+        dist = [-1] * self.n_nodes
+        dist[src] = 0
+        frontier = deque([src])
+        while frontier:
+            u = frontier.popleft()
+            for v, _cls, shuffle in self._adj[u]:
+                if shuffle and not use_shuffle:
+                    continue
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    frontier.append(v)
+        if any(d < 0 for d in dist):
+            raise ValueError("topology is disconnected")
+        return dist
+
+    # -- queries ---------------------------------------------------------
+    def neighbors(self, node: int) -> list[tuple[int, str, bool]]:
+        """(neighbor, link_class, is_shuffle_link) triples of ``node``."""
+        return self._adj[node]
+
+    def link_class(self, a: int, b: int) -> str:
+        for n, cls, _ in self._adj[a]:
+            if n == b:
+                return cls
+        raise KeyError(f"no link {a}->{b}")
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimal hop count (shuffle links allowed)."""
+        return self._dist[a][b]
+
+    def base_distance(self, a: int, b: int) -> int:
+        """Minimal hop count using only non-shuffle links."""
+        return self._dist_base[a][b]
+
+    def minimal_next_hops(
+        self, src: int, dst: int, max_shuffle_hops: int | None = None, hops_taken: int = 0
+    ) -> list[int]:
+        """Neighbors of ``src`` on a minimal path to ``dst``.
+
+        ``max_shuffle_hops`` implements the paper's shuffle routing
+        policies (Fig 18): shuffle links are eligible only while
+        ``hops_taken < max_shuffle_hops``; afterwards routing continues
+        minimally over the base (torus) links.  ``None`` means shuffle
+        links are always eligible.
+        """
+        if src == dst:
+            return []
+        shuffle_ok = max_shuffle_hops is None or hops_taken < max_shuffle_hops
+        if shuffle_ok:
+            target = self._dist[src][dst] - 1
+            hops = [
+                n
+                for n, _cls, _sh in self._adj[src]
+                if self._dist[n][dst] == target
+            ]
+            if hops:
+                return hops
+        # Restricted phase: minimal over base links only.
+        target = self._dist_base[src][dst] - 1
+        return [
+            n
+            for n, _cls, sh in self._adj[src]
+            if not sh and self._dist_base[n][dst] == target
+        ]
+
+    def has_shuffle_links(self) -> bool:
+        return any(sh for adj in self._adj.values() for _, _, sh in adj)
+
+    def fail_link(self, a: int, b: int) -> None:
+        """Remove a physical link (cable pull / failure) and rebuild the
+        routing tables.  Raises if the link does not exist or if losing
+        it disconnects the network.  The adaptive router then routes
+        around the failure with no further configuration -- the
+        resilience property the 21364's table-driven routing provides.
+        """
+        before = len(self._adj[a])
+        self._adj[a] = [t for t in self._adj[a] if t[0] != b]
+        if len(self._adj[a]) == before:
+            raise KeyError(f"no link {a}<->{b}")
+        self._adj[b] = [t for t in self._adj[b] if t[0] != a]
+        self._finalize()  # raises ValueError if now disconnected
+
+    def edges(self) -> list[tuple[int, int, str, bool]]:
+        """Each undirected edge once, as (a, b, class, shuffle) with a < b."""
+        out = []
+        for a, adj in self._adj.items():
+            for b, cls, sh in adj:
+                if a < b:
+                    out.append((a, b, cls, sh))
+        return out
+
+    # -- graph metrics (used by the Table 1 analytic model) --------------
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered pairs (self pairs included,
+        matching the paper's analytical-model convention)."""
+        total = sum(sum(row) for row in self._dist)
+        return total / (self.n_nodes**2)
+
+    def worst_distance(self) -> int:
+        return max(max(row) for row in self._dist)
+
+    def bisection_width(self, shape: TorusShape) -> int:
+        """Links crossing the best axis-aligned bisection of the grid."""
+        best: int | None = None
+        for axis, size in ((0, shape.cols), (1, shape.rows)):
+            if size % 2 or size < 2:
+                continue
+            half = {
+                n
+                for n in range(self.n_nodes)
+                if geometry.coords_of(shape, n)[axis] < size // 2
+            }
+            cut = sum(
+                1 for a, b, _cls, _sh in self.edges() if (a in half) != (b in half)
+            )
+            best = cut if best is None else min(best, cut)
+        if best is None:
+            raise ValueError(f"shape {shape} has no even dimension to bisect")
+        return best
+
+
+class TorusTopology(Topology):
+    """Standard GS1280 2-D torus with physical link classes.
+
+    Link classes follow the machine packaging (calibrated against
+    Figure 13): the two CPUs of a dual-processor module are vertical
+    neighbors in even/odd row pairs (MODULE links), other in-drawer hops
+    ride the BACKPLANE, and wraparounds are inter-drawer CABLEs.  On
+    two-row machines the vertical "wraparound" is the redundant second
+    link of the module pair and is collapsed.
+    """
+
+    def __init__(self, shape: TorusShape) -> None:
+        super().__init__(shape.n_nodes)
+        self.shape = shape
+        cols, rows = shape.cols, shape.rows
+        for row in range(rows):
+            for col in range(cols):
+                node = geometry.node_at(shape, col, row)
+                if cols > 1:
+                    east = geometry.node_at(shape, col + 1, row)
+                    cls = (
+                        LinkClass.CABLE if col == cols - 1 and cols > 2
+                        else LinkClass.BACKPLANE
+                    )
+                    self._add_link(node, east, cls)
+                if rows > 1:
+                    south = geometry.node_at(shape, col, row + 1)
+                    if row == rows - 1 and rows > 2:
+                        cls = LinkClass.CABLE
+                    elif row % 2 == 0:
+                        cls = LinkClass.MODULE
+                    else:
+                        cls = LinkClass.BACKPLANE
+                    self._add_link(node, south, cls)
+        self._finalize()
+
+
+class ShuffleTopology(Topology):
+    """The paper's shuffle re-cabling of a torus (Section 4.1).
+
+    Two-row machines (the configuration actually built and measured,
+    Figures 16-18): keep the horizontal rings and one North-South link
+    per module pair, and re-point the redundant second North-South link
+    of column ``c`` at the furthest node ``(c + cols/2, other row)``.
+
+    Taller machines (Table 1's analytical extrapolation): twist the
+    horizontal wraparound of row ``r`` to land on row ``r + rows/2``,
+    shortening paths that would otherwise cross both dimensions.
+    """
+
+    def __init__(self, shape: TorusShape) -> None:
+        super().__init__(shape.n_nodes)
+        self.shape = shape
+        cols, rows = shape.cols, shape.rows
+        if rows == 2:
+            if cols % 2:
+                raise ValueError("two-row shuffle needs an even column count")
+            for col in range(cols):
+                a = geometry.node_at(shape, col, 0)
+                b = geometry.node_at(shape, col, 1)
+                self._add_link(a, b, LinkClass.MODULE)
+                far = geometry.node_at(shape, col + cols // 2, 1)
+                self._add_link(a, far, LinkClass.CABLE, shuffle=True)
+                for row in (0, 1):
+                    node = geometry.node_at(shape, col, row)
+                    east = geometry.node_at(shape, col + 1, row)
+                    cls = (
+                        LinkClass.CABLE if col == cols - 1 and cols > 2
+                        else LinkClass.BACKPLANE
+                    )
+                    self._add_link(node, east, cls)
+        else:
+            if rows % 2:
+                raise ValueError("twisted shuffle needs an even row count")
+            for row in range(rows):
+                for col in range(cols - 1):
+                    self._add_link(
+                        geometry.node_at(shape, col, row),
+                        geometry.node_at(shape, col + 1, row),
+                        LinkClass.BACKPLANE,
+                    )
+                self._add_link(
+                    geometry.node_at(shape, cols - 1, row),
+                    geometry.node_at(shape, 0, row + rows // 2),
+                    LinkClass.CABLE,
+                    shuffle=True,
+                )
+            for col in range(cols):
+                for row in range(rows):
+                    node = geometry.node_at(shape, col, row)
+                    south = geometry.node_at(shape, col, row + 1)
+                    if row == rows - 1:
+                        cls = LinkClass.CABLE
+                    elif row % 2 == 0:
+                        cls = LinkClass.MODULE
+                    else:
+                        cls = LinkClass.BACKPLANE
+                    self._add_link(node, south, cls)
+        self._finalize()
+
+
+def build_gs1280_topology(shape: TorusShape, shuffle: bool = False) -> Topology:
+    """Factory: standard torus or shuffle variant for a GS1280 shape."""
+    if shuffle:
+        return ShuffleTopology(shape)
+    return TorusTopology(shape)

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel and deterministic RNG streams."""
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.rng import RngFactory
+
+__all__ = ["Event", "SimulationError", "Simulator", "RngFactory"]

@@ -1,0 +1,16 @@
+"""Whole-machine assemblies: GS1280, GS320, ES45, SC45 clusters."""
+
+from repro.systems.base import SystemBase
+from repro.systems.es45 import ES45System
+from repro.systems.gs1280 import GS1280System
+from repro.systems.gs320 import GS320System
+from repro.systems.sc45 import QuadricsInterconnect, SC45System
+
+__all__ = [
+    "ES45System",
+    "GS1280System",
+    "GS320System",
+    "QuadricsInterconnect",
+    "SC45System",
+    "SystemBase",
+]

@@ -1,0 +1,77 @@
+"""Common scaffolding for whole-machine simulation models."""
+
+from __future__ import annotations
+
+from repro.coherence import CoherenceAgent
+from repro.config import MachineConfig
+from repro.memory import Zbox
+from repro.network import FabricBase
+from repro.sim import Simulator
+
+__all__ = ["SystemBase"]
+
+
+class SystemBase:
+    """A machine instance: simulator + fabric + memory + protocol agents.
+
+    Subclasses populate ``fabric``, ``zboxes`` and ``agents`` in their
+    constructor.  One system object is single-use: build, attach
+    workload generators, run, read counters.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.fabric: FabricBase | None = None
+        self.zboxes: list[Zbox] = []
+        self.agents: list[CoherenceAgent] = []
+
+    @property
+    def n_cpus(self) -> int:
+        return self.config.n_cpus
+
+    def agent(self, cpu: int) -> CoherenceAgent:
+        return self.agents[cpu]
+
+    def run(self, until_ns: float | None = None,
+            max_events: int | None = None) -> None:
+        self.sim.run(until=until_ns, max_events=max_events)
+
+    # -- counter helpers used by Xmesh and the experiments ----------------
+    def zbox_of_cpu(self, cpu: int) -> Zbox:
+        raise NotImplementedError
+
+    def total_memory_bytes_moved(self) -> int:
+        return sum(z.bytes_total for z in self.zboxes)
+
+    def counters(self) -> dict:
+        """One snapshot of every hardware counter in the machine --
+        the aggregate view the paper's monitoring tools expose."""
+        links = list(self.fabric.links()) if self.fabric is not None else []
+        return {
+            "time_ns": self.sim.now,
+            "zbox": [
+                {
+                    "node": z.node,
+                    "accesses": z.accesses_total,
+                    "bytes": z.bytes_total,
+                    "busy_ns": z.busy_ns_total,
+                    "page_hit_rate": z.page_hit_rate(),
+                }
+                for z in self.zboxes
+            ],
+            "links": {
+                "count": len(links),
+                "packets": sum(l.packets_total for l in links),
+                "bytes": sum(l.bytes_total for l in links),
+                "busy_ns": sum(l.busy_ns_total for l in links),
+            },
+            "directory": {
+                "requests": sum(a.directory.requests_handled
+                                for a in self.agents),
+                "forwards": sum(a.directory.forwards_sent
+                                for a in self.agents),
+                "invalidations": sum(a.directory.invalidations_sent
+                                     for a in self.agents),
+            },
+        }

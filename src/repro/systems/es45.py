@@ -1,0 +1,42 @@
+"""The ES45 machine model: a 4-CPU crossbar SMP (one SC45 cluster node).
+
+All four CPUs share one memory subsystem behind a crossbar; there is no
+remote memory.  SC45 scaling beyond 4 CPUs is an MPI-level construct
+handled by the workload models (``repro.workloads``), not by this
+shared-memory system model.
+"""
+
+from __future__ import annotations
+
+from repro.coherence import CoherenceAgent
+from repro.config import ES45Config
+from repro.memory import NodeLocalMap, Zbox
+from repro.network import SwitchFabric
+from repro.systems.base import SystemBase
+
+__all__ = ["ES45System"]
+
+
+class ES45System(SystemBase):
+    """A single 4-CPU AlphaServer ES45."""
+
+    def __init__(self, n_cpus: int = 4, config: ES45Config | None = None):
+        super().__init__(config or ES45Config.build(n_cpus))
+        cfg: ES45Config = self.config
+        self.fabric = SwitchFabric.for_es45(self.sim, cfg)
+        shared = Zbox(self.sim, 0, cfg.memory)
+        self.zboxes = [shared]
+        self.agents = [
+            CoherenceAgent(
+                self.sim,
+                cpu,
+                cfg,
+                self.fabric,
+                zbox_of=lambda _node, _z=shared: _z,
+                address_map=NodeLocalMap(),
+            )
+            for cpu in range(cfg.n_cpus)
+        ]
+
+    def zbox_of_cpu(self, cpu: int) -> Zbox:
+        return self.zboxes[0]

@@ -1,0 +1,96 @@
+"""Workload models: microbenchmarks (pointer chase, STREAM, load test,
+GUPS, hot-spot) and application-class proxies (SPEC CPU2000 tables, NAS
+SP, Fluent)."""
+
+from repro.workloads.closed_loop import ClosedLoopResult, run_closed_loop
+from repro.workloads.fluent import FluentModel, FluentPoint, fluent_profile_phases
+from repro.workloads.gups import GupsResult, make_gups_picker, run_gups
+from repro.workloads.hotspot import (
+    HotSpotCurve,
+    make_hotspot_picker,
+    run_hotspot_test,
+)
+from repro.workloads.loadtest import (
+    LoadTestCurve,
+    make_random_remote_picker,
+    run_load_test,
+)
+from repro.workloads.iostream import IoStreamResult, run_io_streams
+from repro.workloads.nas import SpModel, SpPoint, sp_profile_phases
+from repro.workloads.openmp import OmpModel, speccomp_score
+from repro.workloads.stream_sim import StreamSimResult, run_stream_sim
+from repro.workloads.phased import (
+    ComputePhase,
+    ExchangePhase,
+    MemoryPhase,
+    PhasedRun,
+)
+from repro.workloads.pointer_chase import (
+    FIG4_SIZES,
+    FIG5_SIZES,
+    FIG5_STRIDES,
+    chase_on_system,
+    latency_curve,
+    stride_surface,
+)
+from repro.workloads.spec import (
+    ALL_BENCHMARKS,
+    SPECFP2000,
+    SPECINT2000,
+    SpecBenchmark,
+    benchmark,
+    ipc_table,
+    utilization_timeseries,
+)
+from repro.workloads.stream import (
+    STREAM_KERNELS,
+    single_cpu_bandwidth_gbps,
+    stream_bandwidth_gbps,
+    stream_scaling_curve,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "ClosedLoopResult",
+    "ComputePhase",
+    "ExchangePhase",
+    "FIG4_SIZES",
+    "FIG5_SIZES",
+    "FIG5_STRIDES",
+    "FluentModel",
+    "FluentPoint",
+    "GupsResult",
+    "HotSpotCurve",
+    "IoStreamResult",
+    "LoadTestCurve",
+    "MemoryPhase",
+    "OmpModel",
+    "PhasedRun",
+    "SPECFP2000",
+    "SPECINT2000",
+    "STREAM_KERNELS",
+    "SpModel",
+    "SpPoint",
+    "SpecBenchmark",
+    "StreamSimResult",
+    "benchmark",
+    "chase_on_system",
+    "fluent_profile_phases",
+    "ipc_table",
+    "latency_curve",
+    "make_gups_picker",
+    "make_hotspot_picker",
+    "make_random_remote_picker",
+    "run_closed_loop",
+    "run_gups",
+    "run_hotspot_test",
+    "run_io_streams",
+    "run_load_test",
+    "run_stream_sim",
+    "single_cpu_bandwidth_gbps",
+    "sp_profile_phases",
+    "speccomp_score",
+    "stream_bandwidth_gbps",
+    "stream_scaling_curve",
+    "utilization_timeseries",
+]

@@ -1,0 +1,100 @@
+"""Fluent (CFD): the CPU-intensive application class (Section 5.1,
+Figures 19/20).
+
+Fluent's solver blocks well for cache reuse, so it stresses neither the
+memory controllers nor the IP links (the paper measures both at a few
+percent).  Consequently the 21264-based machines keep up with the
+GS1280 -- ES45's 16 MB off-chip cache even gives it a small per-CPU
+edge on the large ``fl5l1`` case -- and scaling is governed by parallel
+efficiency, not bandwidth.
+
+The rating metric follows the Fluent convention: jobs per day, i.e.
+proportional to 1/time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (
+    ES45Config,
+    GS320Config,
+    GS1280Config,
+    MachineConfig,
+    SC45Config,
+)
+from repro.workloads.phased import ComputePhase, ExchangePhase, MemoryPhase
+
+__all__ = ["FluentModel", "FluentPoint", "fluent_profile_phases"]
+
+#: Iteration slice proportions for the fl5l1 case: overwhelmingly compute.
+FLUENT_COMPUTE_NS_1GHZ = 1_000_000.0
+FLUENT_MEMORY_BYTES = 256 << 10  # ~8 % Zbox occupancy on the GS1280
+FLUENT_HALO_BYTES = 24 << 10
+#: Rating constant: calibrated so a 16P GS1280 rates ~1000 (Figure 19).
+RATING_SCALE = 6.8e10
+
+
+@dataclass(frozen=True)
+class FluentPoint:
+    n_cpus: int
+    rating: float
+    iteration_ns: float
+
+
+class FluentModel:
+    """Analytic Fluent fl5l1 scaling for one machine."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+
+    def per_cpu_speed(self) -> float:
+        """Relative single-CPU solver speed (GS1280 == 1.0).
+
+        Clock-scaled 21264 core; the 16 MB off-chip caches of the older
+        machines capture the blocked working set slightly better than
+        the 1.75 MB on-chip L2 (Section 5.1)."""
+        m = self.machine
+        clock = m.clock_ghz / 1.15
+        cache_bonus = 1.06 if m.l2.size_mb >= 8 else 1.0
+        return clock * cache_bonus
+
+    def parallel_efficiency(self, n_cpus: int) -> float:
+        """Fixed-size parallel efficiency at ``n_cpus`` ranks."""
+        if n_cpus <= 1:
+            return 1.0
+        m = self.machine
+        if isinstance(m, GS1280Config):
+            alpha = 0.006  # low-latency torus
+        elif isinstance(m, SC45Config):
+            alpha = 0.006 if n_cpus <= 4 else 0.011  # Quadrics beyond a box
+        elif isinstance(m, ES45Config):
+            alpha = 0.007
+        elif isinstance(m, GS320Config):
+            alpha = 0.022  # global-switch latency hurts the halo exchange
+        else:
+            alpha = 0.01
+        return 1.0 / (1.0 + alpha * (n_cpus - 1))
+
+    def evaluate(self, n_cpus: int) -> FluentPoint:
+        per_cpu = self.per_cpu_speed() * self.parallel_efficiency(n_cpus)
+        iteration_ns = FLUENT_COMPUTE_NS_1GHZ / (per_cpu * 1.15) / n_cpus
+        rating = RATING_SCALE * per_cpu * n_cpus / FLUENT_COMPUTE_NS_1GHZ / 1000.0
+        return FluentPoint(n_cpus=n_cpus, rating=rating,
+                           iteration_ns=iteration_ns)
+
+    def curve(self, cpu_counts: list[int]) -> list[FluentPoint]:
+        return [self.evaluate(n) for n in cpu_counts]
+
+
+def fluent_profile_phases(scale: float = 1 / 16):
+    """Phase list for the event-driven Figure 20 profile run: long
+    compute, small memory sweep, tiny halo exchange."""
+    return [
+        ComputePhase(duration_ns=FLUENT_COMPUTE_NS_1GHZ / 1.15 * scale),
+        MemoryPhase(total_bytes=max(4096, int(FLUENT_MEMORY_BYTES * scale)),
+                    block_bytes=1024),
+        ExchangePhase(bytes_per_neighbor=max(1024,
+                                             int(FLUENT_HALO_BYTES * scale)),
+                      block_bytes=1024),
+    ]

@@ -1,0 +1,97 @@
+"""GUPS: Giga-Updates Per Second (Section 5.3, Figures 23/24).
+
+Each thread updates items picked uniformly at random from a table that
+spans *all* of the machine's memory, so almost every update is a remote
+read-modify-write plus a victim writeback -- the heaviest
+interprocessor-link load of any workload in the paper.  GS1280's >10x
+advantage over GS320 here is the paper's single largest application
+gap, and the 32P (8x4 torus) run shows higher East/West than
+North/South link utilization because the long dimension carries more
+uniform-random traffic -- both effects fall out of this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim import RngFactory
+from repro.systems.base import SystemBase
+from repro.workloads.closed_loop import run_closed_loop
+from repro.workloads.loadtest import NODE_MEMORY_BYTES, _BATCH
+
+__all__ = ["GupsResult", "make_gups_picker", "run_gups"]
+
+#: Outstanding updates one thread keeps in flight (bounded by the EV7's
+#: 16 MSHRs and the dependent index computation between updates).
+DEFAULT_OUTSTANDING = 8
+
+
+def make_gups_picker(
+    rng_factory: RngFactory, cpu: int, n_cpus: int
+) -> Callable[[], tuple[int, int | None]]:
+    """Uniform-random table updates (self included: the table is global)."""
+    rng = rng_factory.stream("gups", cpu)
+    state = {"nodes": None, "addrs": None, "i": _BATCH}
+
+    def pick() -> tuple[int, int | None]:
+        i = state["i"]
+        if i >= _BATCH:
+            state["nodes"] = rng.integers(0, n_cpus, size=_BATCH)
+            state["addrs"] = rng.integers(
+                0, NODE_MEMORY_BYTES // 64, size=_BATCH
+            ) * 64
+            state["i"] = i = 0
+        state["i"] = i + 1
+        return int(state["addrs"][i]), int(state["nodes"][i])
+
+    return pick
+
+
+@dataclass
+class GupsResult:
+    """Outcome of one GUPS run."""
+
+    n_cpus: int
+    updates_per_second: float
+    latency_ns: float
+
+    @property
+    def mups(self) -> float:
+        """Million updates per second (Figure 23 y-axis)."""
+        return self.updates_per_second / 1e6
+
+
+def run_gups(
+    system_factory: Callable[[], SystemBase],
+    outstanding: int | None = None,
+    seed: int = 0,
+    warmup_ns: float = 4000.0,
+    window_ns: float = 12000.0,
+) -> GupsResult:
+    """Measure aggregate update rate on a machine.
+
+    ``outstanding`` defaults to the smaller of 8 (the GUPS loop's
+    address-generation overlap) and the machine's MSHR count.
+    """
+    system = system_factory()
+    if outstanding is None:
+        outstanding = min(DEFAULT_OUTSTANDING, system.config.mlp)
+    rng_factory = RngFactory(seed)
+    pickers = [
+        make_gups_picker(rng_factory, cpu, system.n_cpus)
+        for cpu in range(system.n_cpus)
+    ]
+    result = run_closed_loop(
+        system,
+        pickers,
+        outstanding=outstanding,
+        op="update",
+        warmup_ns=warmup_ns,
+        window_ns=window_ns,
+    )
+    return GupsResult(
+        n_cpus=system.n_cpus,
+        updates_per_second=result.completed / result.window_ns * 1e9,
+        latency_ns=result.latency_ns,
+    )

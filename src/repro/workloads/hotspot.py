@@ -1,0 +1,94 @@
+"""Hot-spot traffic and the memory-striping trade-off (Section 6).
+
+All CPUs read data owned by CPU 0.  Without striping every request
+lands on CPU 0's two memory controllers and the links around it;
+two-CPU striping spreads the same lines across the CPU0/CPU1 module
+pair, roughly doubling the serviceable rate (up to ~80 % gain,
+Figure 26).  The Xmesh hot-spot display of Figure 27 is produced from
+the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.memory import AddressMap
+from repro.sim import RngFactory
+from repro.systems.base import SystemBase
+from repro.workloads.closed_loop import ClosedLoopResult, run_closed_loop
+from repro.workloads.loadtest import _BATCH
+
+__all__ = ["HotSpotCurve", "make_hotspot_picker", "run_hotspot_test"]
+
+#: Hot region size: large enough to defeat caching, small enough to
+#: keep RDRAM page behaviour realistic (64 MB).
+HOT_REGION_BYTES = 64 << 20
+
+
+def make_hotspot_picker(
+    rng_factory: RngFactory,
+    cpu: int,
+    address_map: AddressMap,
+    owner: int = 0,
+) -> Callable[[], tuple[int, int | None]]:
+    """Random reads within the hot region owned by ``owner``.
+
+    The home node is resolved through the *owner's* address map entry,
+    so a striped map spreads the region over the owner's module pair.
+    """
+    rng = rng_factory.stream("hotspot", cpu)
+    state = {"addrs": None, "i": _BATCH}
+
+    def pick() -> tuple[int, int | None]:
+        i = state["i"]
+        if i >= _BATCH:
+            state["addrs"] = rng.integers(0, HOT_REGION_BYTES // 64,
+                                          size=_BATCH) * 64
+            state["i"] = i = 0
+        state["i"] = i + 1
+        address = int(state["addrs"][i])
+        return address, address_map.home(owner, address).node
+
+    return pick
+
+
+@dataclass
+class HotSpotCurve:
+    """Latency-vs-bandwidth under hot-spot load (a Figure 26 series)."""
+
+    label: str
+    points: list[ClosedLoopResult]
+
+    def saturation_bandwidth_mbps(self) -> float:
+        return max(p.bandwidth_mbps for p in self.points)
+
+
+def run_hotspot_test(
+    system_factory: Callable[[], SystemBase],
+    outstanding_values: Sequence[int] = (1, 2, 4, 6, 8, 12, 16, 20, 24, 30),
+    owner: int = 0,
+    label: str = "",
+    seed: int = 0,
+    warmup_ns: float = 4000.0,
+    window_ns: float = 12000.0,
+) -> HotSpotCurve:
+    """Sweep outstanding loads with every CPU hammering ``owner``'s data."""
+    rng_factory = RngFactory(seed)
+    points = []
+    for outstanding in outstanding_values:
+        system = system_factory()
+        pickers = [
+            make_hotspot_picker(rng_factory, cpu, system.address_map, owner)
+            for cpu in range(system.n_cpus)
+        ]
+        points.append(
+            run_closed_loop(
+                system,
+                pickers,
+                outstanding=outstanding,
+                warmup_ns=warmup_ns,
+                window_ns=window_ns,
+            )
+        )
+    return HotSpotCurve(label=label, points=points)

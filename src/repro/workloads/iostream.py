@@ -1,0 +1,68 @@
+"""Aggregate I/O streaming workload (Figure 28's I/O-bandwidth bar,
+reproduced on the fabric simulator).
+
+On the GS1280 every CPU has its own IO7, so aggregate DMA bandwidth
+grows with CPU count; the GS320 shares a few I/O risers machine-wide.
+Each hose streams coherent DMA into its local memory, so the measured
+number includes any Zbox or fabric contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import GS1280Config
+from repro.io import Io7Chip
+from repro.systems.base import SystemBase
+
+__all__ = ["IoStreamResult", "run_io_streams"]
+
+
+@dataclass(frozen=True)
+class IoStreamResult:
+    n_hoses: int
+    bytes_moved: int
+    window_ns: float
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.bytes_moved / self.window_ns  # GB/s == bytes/ns
+
+
+def run_io_streams(
+    system_factory: Callable[[], SystemBase],
+    hose_nodes: list[int] | None = None,
+    window_ns: float = 20000.0,
+    pci_bw_gbps: float = 0.75,
+    stream_bytes: int = 1 << 20,
+) -> IoStreamResult:
+    """Stream DMA on every hose simultaneously; measure aggregate BW.
+
+    ``hose_nodes`` defaults to one hose per CPU on the GS1280 and the
+    machine's riser count (one per leading QBB) otherwise.
+    """
+    system = system_factory()
+    if hose_nodes is None:
+        if isinstance(system.config, GS1280Config):
+            hose_nodes = list(range(system.n_cpus))
+        else:
+            # Machine-wide risers, spread over the available QBBs.
+            per_group = getattr(system.config, "cpus_per_qbb", 4)
+            n_groups = max(1, system.n_cpus // per_group)
+            hose_nodes = [
+                (hose % n_groups) * per_group
+                for hose in range(system.config.io_hoses)
+            ]
+    chips = [
+        Io7Chip(system.sim, system.agent(node), pci_bw_gbps=pci_bw_gbps)
+        for node in hose_nodes
+    ]
+    for chip in chips:
+        chip.stream(stream_bytes)
+    system.run(until_ns=window_ns)
+    return IoStreamResult(
+        n_hoses=len(chips),
+        bytes_moved=sum(chip.bytes_done for chip in chips),
+        window_ns=window_ns,
+    )

@@ -1,0 +1,104 @@
+"""The interprocessor load test (Section 4, Figure 15).
+
+Every CPU repeatedly sends a read request to a *randomly selected other
+CPU's* memory.  The test starts with one outstanding load per CPU and
+adds one per step up to 30.  Plotting delivered aggregate bandwidth
+(x) against observed latency (y) characterizes the interconnect under
+load: an ideal network moves right without moving up.
+
+The paper's headline observations, all reproduced by this model:
+GS1280 sustains far more bandwidth at far smaller latency growth than
+GS320; and pushed past saturation, delivered bandwidth *decreases*
+slightly while latency keeps climbing (adaptive-routing and arbitration
+overhead -- modelled by the routers' congestion penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.sim import RngFactory
+from repro.systems.base import SystemBase
+from repro.workloads.closed_loop import ClosedLoopResult, run_closed_loop
+
+__all__ = ["LoadTestCurve", "make_random_remote_picker", "run_load_test"]
+
+#: Address space per node used by the random pickers (1 GB).
+NODE_MEMORY_BYTES = 1 << 30
+_BATCH = 1024
+
+
+def make_random_remote_picker(
+    rng_factory: RngFactory,
+    cpu: int,
+    n_cpus: int,
+    include_self: bool = False,
+) -> Callable[[], tuple[int, int | None]]:
+    """Uniform-random reads to (an)other CPU's memory, batched for speed."""
+    rng = rng_factory.stream("loadtest", cpu)
+    state = {"nodes": None, "addrs": None, "i": _BATCH}
+
+    def pick() -> tuple[int, int | None]:
+        i = state["i"]
+        if i >= _BATCH:
+            nodes = rng.integers(0, n_cpus, size=_BATCH)
+            if not include_self and n_cpus > 1:
+                # Re-map self-hits to the next node over.
+                nodes = (nodes + (nodes == cpu)) % n_cpus
+            state["nodes"] = nodes
+            state["addrs"] = rng.integers(
+                0, NODE_MEMORY_BYTES // 64, size=_BATCH
+            ) * 64
+            state["i"] = i = 0
+        state["i"] = i + 1
+        return int(state["addrs"][i]), int(state["nodes"][i])
+
+    return pick
+
+
+@dataclass
+class LoadTestCurve:
+    """One machine's latency-vs-bandwidth curve (a Figure 15 series)."""
+
+    label: str
+    points: list[ClosedLoopResult]
+
+    def bandwidths_mbps(self) -> list[float]:
+        return [p.bandwidth_mbps for p in self.points]
+
+    def latencies_ns(self) -> list[float]:
+        return [p.latency_ns for p in self.points]
+
+    def saturation_bandwidth_mbps(self) -> float:
+        return max(p.bandwidth_mbps for p in self.points)
+
+
+def run_load_test(
+    system_factory: Callable[[], SystemBase],
+    outstanding_values: Sequence[int] = tuple(range(1, 31)),
+    label: str = "",
+    seed: int = 0,
+    warmup_ns: float = 4000.0,
+    window_ns: float = 12000.0,
+) -> LoadTestCurve:
+    """Run the full outstanding-load sweep; a fresh system per point."""
+    rng_factory = RngFactory(seed)
+    points = []
+    for outstanding in outstanding_values:
+        system = system_factory()
+        pickers = [
+            make_random_remote_picker(rng_factory, cpu, system.n_cpus)
+            for cpu in range(system.n_cpus)
+        ]
+        points.append(
+            run_closed_loop(
+                system,
+                pickers,
+                outstanding=outstanding,
+                op="read",
+                warmup_ns=warmup_ns,
+                window_ns=window_ns,
+            )
+        )
+    return LoadTestCurve(label=label, points=points)

@@ -1,0 +1,135 @@
+"""NAS Parallel SP: the memory-bandwidth-intensive application class
+(Section 5.2, Figures 21/22).
+
+SP is an MPI pseudo-application dominated by long unit-stride solver
+sweeps; the paper's counters show ~26 % memory-controller utilization
+and *low* IP-link utilization on the GS1280 -- the kernels were
+decomposed for clusters and communicate far less than the torus can
+carry.  The scaling model composes each iteration from
+
+* a compute part (same 21264 core everywhere, so it only clock-scales),
+* a local-memory part at the machine's per-CPU STREAM share -- this is
+  where GS1280's private Zboxes beat the shared buses, and
+* a halo-exchange part across the machine's MPI transport
+  (shared-memory fabric for GS1280/GS320, Quadrics rails between SC45
+  boxes).
+
+:func:`sp_profile_phases` gives the equivalent phase structure for the
+event-driven profiler (Figure 22's alternating utilization trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (
+    ES45Config,
+    GS320Config,
+    GS1280Config,
+    MachineConfig,
+    SC45Config,
+)
+from repro.workloads.phased import ComputePhase, ExchangePhase, MemoryPhase
+from repro.workloads.stream import single_cpu_bandwidth_gbps, stream_bandwidth_gbps
+
+__all__ = ["SpModel", "SpPoint", "sp_profile_phases"]
+
+#: Per-rank, per-iteration workload slice (class-C-like proportions).
+SP_COMPUTE_NS_1GHZ = 1_150_000.0  # core work, at a 1 GHz clock
+SP_MEMORY_BYTES = 4 << 20  # solver sweep traffic
+SP_HALO_BYTES = 48 << 10  # per neighbor, 4 neighbors
+SP_OPS_PER_RANK_ITER = 0.85e6  # reported operations in the slice
+
+
+@dataclass(frozen=True)
+class SpPoint:
+    n_cpus: int
+    mops: float
+    iteration_ns: float
+    memory_fraction: float  # share of iteration spent in memory sweeps
+
+
+class SpModel:
+    """Analytic SP scaling for one machine.
+
+    ``memory_bytes``/``compute_ns_1ghz``/``halo_bytes`` default to the
+    SP class-C slice; other NPB kernels (or the suite mean) are modelled
+    by scaling the memory share.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        memory_bytes: int = SP_MEMORY_BYTES,
+        compute_ns_1ghz: float = SP_COMPUTE_NS_1GHZ,
+        halo_bytes: int = SP_HALO_BYTES,
+    ) -> None:
+        self.machine = machine
+        self.memory_bytes = memory_bytes
+        self.compute_ns_1ghz = compute_ns_1ghz
+        self.halo_bytes = halo_bytes
+
+    # -- per-component times ----------------------------------------------
+    def compute_ns(self) -> float:
+        return self.compute_ns_1ghz / self.machine.clock_ghz
+
+    def memory_ns(self, n_cpus: int) -> float:
+        per_cpu = stream_bandwidth_gbps(self.machine, n_cpus) / n_cpus
+        return self.memory_bytes / per_cpu
+
+    def comm_ns(self, n_cpus: int) -> float:
+        if n_cpus == 1:
+            return 0.0
+        total = 4 * self.halo_bytes
+        m = self.machine
+        if isinstance(m, GS1280Config):
+            bw, base = m.link_bw_gbps, 4 * 200.0  # per-message protocol cost
+        elif isinstance(m, GS320Config):
+            bw, base = m.qbb_link_bw_gbps / 2, 4 * 900.0
+        elif isinstance(m, SC45Config):
+            # Beyond one box, halos cross the Quadrics rails.
+            if n_cpus <= 4:
+                bw, base = m.node.memory_bus_bw_gbps / 2, 4 * 300.0
+            else:
+                bw, base = m.quadrics_bw_gbps, 4 * m.quadrics_latency_ns
+        elif isinstance(m, ES45Config):
+            bw, base = m.memory_bus_bw_gbps / 2, 4 * 300.0
+        else:
+            bw, base = 1.0, 0.0
+        return total / bw + base
+
+    # -- the curve ----------------------------------------------------------
+    def evaluate(self, n_cpus: int) -> SpPoint:
+        mem = self.memory_ns(n_cpus)
+        total = self.compute_ns() + mem + self.comm_ns(n_cpus)
+        mops = n_cpus * SP_OPS_PER_RANK_ITER / total * 1e9 / 1e6
+        return SpPoint(
+            n_cpus=n_cpus,
+            mops=mops,
+            iteration_ns=total,
+            memory_fraction=mem / total,
+        )
+
+    def curve(self, cpu_counts: list[int]) -> list[SpPoint]:
+        return [self.evaluate(n) for n in cpu_counts]
+
+    def zbox_utilization(self, n_cpus: int) -> float:
+        """Mean memory-controller occupancy over an iteration (Fig 22)."""
+        point = self.evaluate(n_cpus)
+        bytes_per_ns = self.memory_bytes / point.iteration_ns
+        return min(1.0, bytes_per_ns / self.machine.memory.peak_bw_gbps)
+
+
+def sp_profile_phases(scale: float = 1 / 64):
+    """Phase list for the event-driven Figure 22 profile run.
+
+    ``scale`` shrinks the iteration slice so profile runs finish in
+    reasonable wall time; proportions (and thus the utilization trace)
+    are preserved.
+    """
+    return [
+        MemoryPhase(total_bytes=int(SP_MEMORY_BYTES * scale), block_bytes=1024),
+        ComputePhase(duration_ns=SP_COMPUTE_NS_1GHZ / 1.15 * scale),
+        ExchangePhase(bytes_per_neighbor=max(1024, int(SP_HALO_BYTES * scale)),
+                      block_bytes=1024),
+    ]

@@ -1,0 +1,153 @@
+"""SPEComp2001 proxy: OpenMP-parallel fp benchmarks.
+
+An OpenMP rate differs from a SPEC rate in one architectural way: the
+threads share one address space, so a fraction of each thread's misses
+lands in *remote* memory (another CPU's Zbox on the GS1280, another
+QBB on the GS320) instead of its own.  Low remote latency is exactly
+where the GS1280 shines, which is why the paper's SPEComp bar (~2.2x)
+sits above its fp-rate bar (~2x) and why OpenMP swim becomes one of
+the largest single gaps in Figure 28.
+
+The model composes the per-benchmark IPC model with a machine-level
+average remote-access penalty and the same bandwidth sharing as the
+rate model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import (
+    CACHE_LINE_BYTES,
+    ES45Config,
+    GS320Config,
+    GS1280Config,
+    MachineConfig,
+    SC45Config,
+    torus_shape_for,
+)
+from repro.cpu import BenchmarkCharacter, IpcModel
+from repro.workloads.spec import SPECFP2000
+
+__all__ = ["OmpModel", "average_remote_extra_ns", "speccomp_score"]
+
+#: Fraction of an OpenMP thread's misses that touch shared (remote) data,
+#: and the fraction of those that hit a line another thread just wrote
+#: (producer-consumer Read-Dirty traffic).
+DEFAULT_SHARED_FRACTION = 0.15
+DEFAULT_DIRTY_FRACTION = 0.30
+
+
+def average_remote_extra_ns(machine: MachineConfig, n_cpus: int,
+                            dirty_fraction: float = DEFAULT_DIRTY_FRACTION) -> float:
+    """Mean extra latency of a shared-data miss vs a local one.
+
+    Blends the clean-remote penalty with the (much larger on the GS320)
+    Read-Dirty penalty -- the protocol path where the paper measures a
+    6.6x GS1280 advantage.
+    """
+    if isinstance(machine, GS1280Config):
+        shape = torus_shape_for(n_cpus)
+        avg_hops = (shape.cols / 4.0) + (shape.rows / 4.0)
+        per_hop = 2 * (machine.router.pipeline_ns + 7.0)  # round trip
+        serialization = (16 + 72) / machine.link_bw_gbps
+        clean = serialization + machine.directory_lookup_ns + avg_hops * per_hop
+        dirty = clean + machine.cache_probe_ns + avg_hops * per_hop / 2
+        return (1 - dirty_fraction) * clean + dirty_fraction * dirty
+    if isinstance(machine, GS320Config):
+        # Most shared data is off-QBB: two global-switch crossings for a
+        # clean read, a third leg plus the home relay when it is dirty.
+        # Worse, first-touch places the shared arrays on the *master's*
+        # QBB, so every thread's shared misses queue on that one memory
+        # system -- the classic GS320 OpenMP hot spot.  The GS1280
+        # distributes pages across its per-CPU Zboxes instead.
+        remote_share = 1.0 - machine.cpus_per_qbb / max(n_cpus, 4)
+        hotspot_queue = n_cpus * CACHE_LINE_BYTES / machine.qbb_memory_bw_gbps
+        clean = remote_share * 530.0 + hotspot_queue
+        dirty = remote_share * 780.0 + hotspot_queue
+        return (1 - dirty_fraction) * clean + dirty_fraction * dirty
+    if isinstance(machine, (ES45Config, SC45Config)):
+        return dirty_fraction * machine.cache_probe_ns  # in-box snoops
+    return 0.0
+
+
+class OmpModel:
+    """Per-benchmark OpenMP throughput on one machine."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        n_threads: int,
+        shared_fraction: float = DEFAULT_SHARED_FRACTION,
+    ) -> None:
+        # Imported here: repro.analysis.rates itself consumes the SPEC
+        # tables from this package (deferred to break the import cycle).
+        from repro.analysis.rates import rate_share_fraction
+
+        if not 0.0 <= shared_fraction <= 1.0:
+            raise ValueError("shared_fraction must be in [0, 1]")
+        self.machine = machine
+        self.n_threads = n_threads
+        self.shared_fraction = shared_fraction
+        self._share = rate_share_fraction(machine, n_threads)
+        self._remote_extra = average_remote_extra_ns(machine, n_threads)
+
+    def shared_bandwidth_per_thread_gbps(self) -> float:
+        """Serviceable bandwidth for one thread's *shared* misses."""
+        m = self.machine
+        if isinstance(m, GS320Config):
+            # First-touch concentrates the hottest shared arrays on a
+            # few QBBs (parallel initialization spreads some); their
+            # memory systems serve every thread's shared misses.
+            concentration = min(self.n_threads, 3 * m.cpus_per_qbb)
+            return m.memory.sustained_stream_bw_gbps / concentration
+        if isinstance(m, GS1280Config):
+            # Pages interleave across the per-CPU Zboxes; the inbound
+            # link (with header overhead) is the per-thread ceiling.
+            link = m.link_bw_gbps * (64 / 72)
+            return min(m.memory.sustained_stream_bw_gbps, link)
+        return m.memory.sustained_stream_bw_gbps * self._share
+
+    def per_thread_performance(self, character: BenchmarkCharacter) -> float:
+        """One thread's instructions/ns under OpenMP sharing.
+
+        Private misses behave like a rate copy; shared misses pay the
+        remote/dirty latency and the shared-region's bandwidth ceiling.
+        The two components mix by the shared fraction.
+        """
+        model = IpcModel(self.machine, bw_share_fraction=self._share)
+        base_latency = model.memory_latency_ns(character)
+        cycle = self.machine.cycle_ns
+        overlap = min(max(character.overlap, 1.0), float(self.machine.mlp))
+        line_traffic = CACHE_LINE_BYTES * (1.0 + character.writeback_fraction)
+
+        local_lat_term = (base_latency / cycle) / overlap
+        local_bw = self.machine.memory.sustained_stream_bw_gbps * self._share
+        local_service = max(local_lat_term, (line_traffic / local_bw) / cycle)
+
+        shared_lat = base_latency + self._remote_extra
+        shared_lat_term = (shared_lat / cycle) / overlap
+        shared_bw = self.shared_bandwidth_per_thread_gbps()
+        shared_service = max(shared_lat_term,
+                             (line_traffic / shared_bw) / cycle)
+
+        s = self.shared_fraction
+        miss_service = (1 - s) * local_service + s * shared_service
+        mpki = character.mpki(self.machine.l2.size_mb)
+        cpi = (
+            character.cpi_core
+            + character.l2_apki / 1000.0
+            * (self.machine.l2.load_to_use_ns / cycle)
+            + mpki / 1000.0 * miss_service
+        )
+        return (1.0 / cpi) * self.machine.clock_ghz
+
+    def throughput(self, character: BenchmarkCharacter) -> float:
+        return self.n_threads * self.per_thread_performance(character)
+
+
+def speccomp_score(machine: MachineConfig, n_threads: int) -> float:
+    """Geomean OpenMP throughput over the fp suite (model units)."""
+    model = OmpModel(machine, n_threads)
+    values = [model.throughput(b.character) for b in SPECFP2000]
+    return math.exp(sum(math.log(v) for v in values) / len(values))

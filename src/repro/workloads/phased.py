@@ -1,0 +1,209 @@
+"""Bulk-synchronous (MPI-style) phased workloads on the event simulator.
+
+The paper's application classes (Section 5) are distinguished by which
+subsystem their phases stress: Fluent is compute-phase dominated, NAS
+SP alternates long local-memory sweeps with small halo exchanges, GUPS
+is all-communication.  This module runs such iteration structures on a
+simulated machine so the built-in counters show the same utilization
+signatures the paper's Xmesh profiles do (Figures 20 and 22).
+
+Each rank cycles through the phase list; a barrier separates phases
+(bulk-synchronous semantics).  Memory phases stream local data with
+dependent block reads; communication phases read halo blocks from
+neighbor ranks through the coherent fabric (MPI over shared memory,
+which is how these kernels run on the GS1280/GS320).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.systems.base import SystemBase
+
+__all__ = ["ComputePhase", "MemoryPhase", "ExchangePhase", "PhasedRun"]
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """Pure computation for ``duration_ns`` (no memory traffic)."""
+
+    duration_ns: float
+
+
+@dataclass(frozen=True)
+class MemoryPhase:
+    """Stream ``total_bytes`` from local memory in dependent blocks."""
+
+    total_bytes: int
+    block_bytes: int = 1024
+
+
+@dataclass(frozen=True)
+class ExchangePhase:
+    """Read ``bytes_per_neighbor`` from each neighbor rank's memory."""
+
+    bytes_per_neighbor: int
+    block_bytes: int = 1024
+    neighbors: Callable[[int, int], list[int]] | None = None  # (rank, n) -> ranks
+
+
+def grid_neighbors(rank: int, n_ranks: int) -> list[int]:
+    """4-neighborhood on the most-square factorization of ``n_ranks``."""
+    cols = 1
+    for c in range(1, int(n_ranks**0.5) + 1):
+        if n_ranks % c == 0:
+            cols = n_ranks // c
+    rows = n_ranks // cols
+    r, c = divmod(rank, cols)
+    out = {
+        ((r + dr) % rows) * cols + (c + dc) % cols
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1))
+    }
+    out.discard(rank)
+    return sorted(out)
+
+
+class _Barrier:
+    """Counts rank arrivals; releases everyone when all have arrived."""
+
+    def __init__(self, n_ranks: int, on_release: Callable[[], None]) -> None:
+        self.n_ranks = n_ranks
+        self.on_release = on_release
+        self._arrived = 0
+
+    def arrive(self) -> None:
+        self._arrived += 1
+        if self._arrived == self.n_ranks:
+            self._arrived = 0
+            self.on_release()
+
+
+class PhasedRun:
+    """Executes iterations of a phase list across all CPUs of a system."""
+
+    def __init__(
+        self,
+        system: SystemBase,
+        phases: Sequence[ComputePhase | MemoryPhase | ExchangePhase],
+        iterations: int = 2,
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.system = system
+        self.phases = list(phases)
+        self.iterations = iterations
+        self.iteration_times_ns: list[float] = []
+        self._iter_started_at = 0.0
+        self._phase_index = 0
+        self._iteration = 0
+        self._barrier = _Barrier(system.n_cpus, self._advance)
+        self._done = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[float]:
+        """Run to completion; returns per-iteration wall times (ns).
+
+        Steps the simulator event-by-event and stops as soon as the last
+        iteration's barrier releases, so self-rescheduling observers
+        (the Xmesh monitor) don't keep the run alive forever.
+        """
+        self._iter_started_at = self.system.sim.now
+        self._start_phase()
+        sim = self.system.sim
+        while not self._done:
+            if not sim.step():
+                raise RuntimeError(
+                    "phased run stalled (barrier never released)"
+                )
+        return self.iteration_times_ns
+
+    @property
+    def mean_iteration_ns(self) -> float:
+        return sum(self.iteration_times_ns) / len(self.iteration_times_ns)
+
+    # ------------------------------------------------------------------
+    def _start_phase(self) -> None:
+        phase = self.phases[self._phase_index]
+        for rank in range(self.system.n_cpus):
+            self._run_rank_phase(rank, phase)
+
+    def _advance(self) -> None:
+        self._phase_index += 1
+        if self._phase_index == len(self.phases):
+            self._phase_index = 0
+            now = self.system.sim.now
+            self.iteration_times_ns.append(now - self._iter_started_at)
+            self._iter_started_at = now
+            self._iteration += 1
+            if self._iteration >= self.iterations:
+                self._done = True
+                return
+        self._start_phase()
+
+    def _run_rank_phase(
+        self, rank: int, phase: ComputePhase | MemoryPhase | ExchangePhase
+    ) -> None:
+        sim = self.system.sim
+        agent = self.system.agent(rank)
+        if isinstance(phase, ComputePhase):
+            sim.schedule(phase.duration_ns, self._barrier.arrive)
+            return
+        if isinstance(phase, MemoryPhase):
+            blocks = max(1, phase.total_bytes // phase.block_bytes)
+            state = {"left": blocks, "addr": (rank + 1) << 24}
+
+            def next_block(_txn=None) -> None:
+                if state["left"] == 0:
+                    self._barrier.arrive()
+                    return
+                state["left"] -= 1
+                addr = state["addr"]
+                state["addr"] += phase.block_bytes
+                agent.read(addr, next_block, home=rank,
+                           size_bytes=phase.block_bytes)
+
+            next_block()
+            return
+        if isinstance(phase, ExchangePhase):
+            neighbor_fn = phase.neighbors or grid_neighbors
+            neighbors = neighbor_fn(rank, self.system.n_cpus)
+            if not neighbors:
+                self._barrier.arrive()
+                return
+            blocks_each = max(1, phase.bytes_per_neighbor // phase.block_bytes)
+            state = {"pending": len(neighbors)}
+            mpi_send = getattr(self.system, "mpi_send", None)
+            if mpi_send is not None:
+                # Cluster machines (SC45): halos are MPI messages --
+                # shared-memory in-box, Quadrics across boxes.
+                def one_done() -> None:
+                    state["pending"] -= 1
+                    if state["pending"] == 0:
+                        self._barrier.arrive()
+
+                for nbr in neighbors:
+                    mpi_send(nbr, rank, phase.bytes_per_neighbor, one_done)
+                return
+
+            def start_neighbor(nbr: int) -> None:
+                st = {"left": blocks_each, "addr": (rank << 20) | (nbr << 8)}
+
+                def next_block(_txn=None) -> None:
+                    if st["left"] == 0:
+                        state["pending"] -= 1
+                        if state["pending"] == 0:
+                            self._barrier.arrive()
+                        return
+                    st["left"] -= 1
+                    addr = st["addr"]
+                    st["addr"] += phase.block_bytes
+                    agent.read(addr, next_block, home=nbr,
+                               size_bytes=phase.block_bytes)
+
+                next_block()
+
+            for nbr in neighbors:
+                start_neighbor(nbr)
+            return
+        raise TypeError(f"unknown phase type {type(phase).__name__}")

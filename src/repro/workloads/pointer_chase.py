@@ -1,0 +1,106 @@
+"""lmbench-style dependent-load latency sweeps (Figures 4 and 5).
+
+``lat_mem_rd`` walks a pointer chain through a dataset; every load
+depends on the previous one, so the measured time per load is the
+load-to-use latency of whatever level of the hierarchy the dataset
+falls into.  The analytic curve comes from
+:class:`repro.cache.HierarchyLatencyModel`; :func:`chase_on_system`
+additionally runs a short *event-driven* chase against the full machine
+model so the two levels of the library can be cross-checked (the
+calibration tests do exactly that).
+"""
+
+from __future__ import annotations
+
+from repro.cache import HierarchyLatencyModel
+from repro.config import MachineConfig
+from repro.systems.base import SystemBase
+
+__all__ = [
+    "FIG4_SIZES",
+    "FIG5_SIZES",
+    "FIG5_STRIDES",
+    "latency_curve",
+    "stride_surface",
+    "chase_on_system",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+#: Dataset sizes along Figure 4's x-axis (4 KB .. 128 MB).
+FIG4_SIZES = [
+    4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB,
+    512 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB,
+    64 * MB, 128 * MB,
+]
+
+#: Figure 5 axes: sizes 4 KB .. 16 MB, strides 4 B .. 16 KB.
+FIG5_SIZES = [4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB]
+FIG5_STRIDES = [4, 16, 64, 256, 1024, 4096, 16384]
+
+
+def latency_curve(
+    machine: MachineConfig,
+    sizes: list[int] | None = None,
+    stride: int = 64,
+) -> list[tuple[int, float]]:
+    """(dataset_bytes, latency_ns) pairs -- one Figure 4 series."""
+    model = HierarchyLatencyModel(machine)
+    return [
+        (size, model.dependent_load_latency_ns(size, stride))
+        for size in (sizes or FIG4_SIZES)
+    ]
+
+
+def stride_surface(
+    machine: MachineConfig,
+    sizes: list[int] | None = None,
+    strides: list[int] | None = None,
+) -> list[tuple[int, int, float]]:
+    """(dataset_bytes, stride_bytes, latency_ns) triples -- Figure 5."""
+    model = HierarchyLatencyModel(machine)
+    return [
+        (size, stride, model.dependent_load_latency_ns(size, stride))
+        for size in (sizes or FIG5_SIZES)
+        for stride in (strides or FIG5_STRIDES)
+    ]
+
+
+def chase_on_system(
+    system: SystemBase,
+    n_loads: int = 200,
+    stride: int = 64,
+    cpu: int = 0,
+    home: int | None = None,
+    region_bytes: int = 32 * MB,
+) -> float:
+    """Run a dependent-load chain on the event-driven machine model.
+
+    Issues ``n_loads`` serially-dependent reads at ``stride`` through a
+    ``region_bytes`` window (so RDRAM page behaviour matches a real
+    sweep) and returns the average latency in nanoseconds.  ``home``
+    pins the data's home node (for remote-latency sweeps); ``None``
+    keeps it local.
+    """
+    if n_loads < 1:
+        raise ValueError("need at least one load")
+    agent = system.agent(cpu)
+    state = {"remaining": n_loads, "address": 0, "sum": 0.0, "warm": False}
+
+    def issue() -> None:
+        agent.read(state["address"], on_complete, home=home)
+
+    def on_complete(txn) -> None:
+        if state["warm"]:
+            state["sum"] += txn.latency_ns
+            state["remaining"] -= 1
+        else:
+            state["warm"] = True  # first access warms the DRAM page map
+        if state["remaining"] > 0:
+            state["address"] = (state["address"] + stride) % region_bytes
+            issue()
+
+    issue()
+    system.run()
+    return state["sum"] / n_loads

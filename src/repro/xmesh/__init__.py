@@ -1,0 +1,13 @@
+"""Xmesh re-implementation: utilization sampling, hot-spot detection,
+and text rendering of the mesh display."""
+
+from repro.xmesh.monitor import Direction, XmeshMonitor, XmeshSample
+from repro.xmesh.render import render_mesh, render_timeseries
+
+__all__ = [
+    "Direction",
+    "XmeshMonitor",
+    "XmeshSample",
+    "render_mesh",
+    "render_timeseries",
+]

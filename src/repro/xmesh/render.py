@@ -1,0 +1,58 @@
+"""ASCII rendering of the Xmesh display (Figure 27).
+
+The real Xmesh draws one square per CPU with color-coded Zbox and
+IP-link utilization.  The text renderer prints the same grid with
+percentage cells and flags detected hot spots, which is all the paper
+uses the display for (spotting the bright corner in Figure 27).
+"""
+
+from __future__ import annotations
+
+from repro.config import TorusShape
+from repro.network import geometry
+
+__all__ = ["render_mesh", "render_timeseries"]
+
+
+def render_mesh(
+    shape: TorusShape,
+    per_node_values: list[float],
+    hotspots: list[int] | None = None,
+    title: str = "Xmesh",
+) -> str:
+    """Render per-node utilizations (fractions) as a labelled grid."""
+    if len(per_node_values) != shape.n_nodes:
+        raise ValueError(
+            f"{len(per_node_values)} values for a {shape} mesh"
+        )
+    hot = set(hotspots or [])
+    lines = [f"{title} ({shape.cols}x{shape.rows} torus, Zbox utilization %)"]
+    for row in range(shape.rows):
+        cells = []
+        for col in range(shape.cols):
+            node = geometry.node_at(shape, col, row)
+            mark = "*" if node in hot else " "
+            cells.append(f"[{per_node_values[node] * 100:5.1f}{mark}]")
+        lines.append(" ".join(cells))
+    if hot:
+        lines.append(f"hot spots: {sorted(hot)}")
+    return "\n".join(lines)
+
+
+def render_timeseries(
+    series: dict[str, list[float]], width: int = 64, title: str = ""
+) -> str:
+    """Tiny textual sparkline chart for utilization traces."""
+    ramp = " .:-=+*#%@"
+    lines = [title] if title else []
+    for label, values in series.items():
+        if not values:
+            continue
+        peak = max(max(values), 1e-9)
+        step = max(1, len(values) // width)
+        cells = [
+            ramp[min(len(ramp) - 1, int(v / peak * (len(ramp) - 1)))]
+            for v in values[::step]
+        ]
+        lines.append(f"{label:>24} |{''.join(cells)}| peak {peak * 100:.1f}%")
+    return "\n".join(lines)

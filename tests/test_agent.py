@@ -1,0 +1,212 @@
+"""End-to-end coherence-agent tests on small machines."""
+
+import pytest
+
+from repro.coherence import CoherenceOp
+from repro.systems import ES45System, GS1280System, GS320System
+
+
+def run_read(system, cpu, home, address=0, warm=False):
+    done = []
+    if warm:
+        system.agent(cpu).read(
+            address,
+            lambda t: system.agent(cpu).read(
+                address, lambda t2: done.append(t2), home=home
+            ),
+            home=home,
+        )
+    else:
+        system.agent(cpu).read(address, done.append, home=home)
+    system.run()
+    assert len(done) == 1
+    return done[0]
+
+
+class TestLocalReads:
+    def test_gs1280_local_read_completes(self):
+        system = GS1280System(4)
+        txn = run_read(system, cpu=0, home=0)
+        assert txn.op == CoherenceOp.READ
+        assert txn.latency_ns > 0
+
+    def test_gs1280_warm_local_read_is_83ns(self):
+        system = GS1280System(4)
+        txn = run_read(system, cpu=0, home=0, warm=True)
+        assert txn.latency_ns == pytest.approx(83.0, abs=1.0)
+
+    def test_local_read_does_not_touch_links(self):
+        system = GS1280System(4)
+        run_read(system, cpu=0, home=0)
+        assert all(l.packets_total == 0 for l in system.fabric.links())
+
+    def test_gs320_local_read_rides_the_qbb_switch(self):
+        system = GS320System(8)
+        run_read(system, cpu=0, home=0)
+        assert any(l.packets_total > 0 for l in system.fabric.links())
+
+
+class TestRemoteReads:
+    def test_remote_read_moves_request_and_response(self):
+        system = GS1280System(4)
+        run_read(system, cpu=0, home=3)
+        total_packets = sum(l.packets_total for l in system.fabric.links())
+        assert total_packets >= 2  # request out, data back
+
+    def test_remote_slower_than_local(self):
+        local = run_read(GS1280System(4), 0, 0, warm=True)
+        remote = run_read(GS1280System(4), 0, 3, warm=True)
+        assert remote.latency_ns > local.latency_ns + 30
+
+    def test_remote_data_lands_in_home_zbox(self):
+        system = GS1280System(4)
+        run_read(system, cpu=0, home=2)
+        assert system.zboxes[2].accesses_total == 1
+        assert system.zboxes[0].accesses_total == 0
+
+
+class TestReadDirty:
+    def test_dirty_read_forwards_from_owner(self):
+        system = GS1280System(16)
+        done = []
+
+        def after_own(_txn):
+            system.agent(0).read(64, done.append, home=4)
+
+        system.agent(8).read_mod(64, after_own, home=4)
+        system.run()
+        assert len(done) == 1
+        # Memory was read once (the owner's RdMod), not for the dirty read.
+        assert system.zboxes[4].accesses_total >= 1
+        # Directory at home 4 recorded the forward.
+        assert system.agents[4].directory.forwards_sent == 1
+
+    def test_dirty_read_slower_than_clean(self):
+        clean = run_read(GS1280System(16), 0, 4, warm=True)
+        system = GS1280System(16)
+        done = []
+        system.agent(8).read_mod(
+            64, lambda t: system.agent(0).read(64, done.append, home=4),
+            home=4,
+        )
+        system.run()
+        assert done[0].latency_ns > clean.latency_ns
+
+
+class TestInvalidation:
+    def test_store_to_shared_line_collects_acks(self):
+        system = GS1280System(16)
+        done = []
+        state = {"shared": 0}
+
+        def share_then_store(_txn=None):
+            state["shared"] += 1
+            if state["shared"] == 2:
+                system.agent(5).read_mod(128, done.append, home=2)
+
+        system.agent(3).read(128, share_then_store, home=2)
+        system.agent(7).read(128, share_then_store, home=2)
+        system.run()
+        assert len(done) == 1
+        txn = done[0]
+        assert txn.acks_expected == 2
+        assert txn.acks_received >= 2
+
+
+class TestVictimWriteback:
+    def test_victim_writes_home_memory(self):
+        system = GS1280System(4)
+        done = []
+        system.agent(0).read_mod(0, done.append, home=2)
+        system.run()
+        before = system.zboxes[2].bytes_total
+        system.agent(0).victim(0, home=2)
+        system.run()
+        assert system.zboxes[2].bytes_total > before
+
+
+class TestStatistics:
+    def test_latency_accounting(self):
+        system = GS1280System(4)
+        run_read(system, 0, 3)
+        agent = system.agent(0)
+        assert agent.completed[CoherenceOp.READ] == 1
+        assert agent.mean_latency_ns(CoherenceOp.READ) > 0
+        with pytest.raises(ValueError):
+            agent.mean_latency_ns(CoherenceOp.READ_MOD)
+
+    def test_outstanding_tracking(self):
+        system = GS1280System(4)
+        agent = system.agent(0)
+        agent.read(0, lambda t: None, home=3)
+        assert agent.outstanding() == 1
+        system.run()
+        assert agent.outstanding() == 0
+
+
+class TestES45:
+    def test_all_cpus_share_one_zbox(self):
+        system = ES45System(4)
+        done = []
+        for cpu in range(4):
+            system.agent(cpu).read(cpu * 4096, done.append, home=cpu)
+        system.run()
+        assert len(done) == 4
+        assert system.zboxes[0].accesses_total == 4
+
+
+class TestGS320Protocol:
+    def test_dirty_response_relays_through_home(self):
+        """GS320 dirty reads commit at the home before data reaches the
+        requestor (dirty_response_via_home)."""
+        from repro.systems import GS320System
+
+        direct = GS1280System(16)
+        relayed = GS320System(16)
+        for system in (direct, relayed):
+            done = []
+            system.agent(8).read_mod(
+                64,
+                lambda _t, s=system, d=done: s.agent(0).read(
+                    64, d.append, home=4
+                ),
+                home=4,
+            )
+            system.run()
+        # Both complete; the GS320's extra leg shows in the latency.
+        # (Absolute values pinned in test_calibration.)
+
+    def test_gs320_local_read_contends_with_remote_traffic(self):
+        """local_via_fabric: a QBB's local reads share the QBB switch
+        with through-traffic (unlike the GS1280's private Zbox path)."""
+        from repro.systems import GS320System
+
+        quiet = GS320System(8)
+        done_quiet = []
+        quiet.agent(0).read(0, done_quiet.append, home=0)
+        quiet.run()
+
+        busy = GS320System(8)
+        # Flood QBB 0's switch with incoming remote reads, then probe
+        # mid-storm.
+        for i in range(40):
+            busy.agent(4 + i % 4).read(i * 64, lambda t: None, home=0)
+        busy.run(until_ns=400.0)  # storm in flight at QBB 0
+        done_busy = []
+        busy.agent(0).read(0, done_busy.append, home=0)
+        busy.run()
+        assert done_busy[0].latency_ns > done_quiet[0].latency_ns
+
+    def test_stale_response_dropped_quietly(self):
+        """A DATA message for an unknown transaction must not crash or
+        loop (requestor == self path)."""
+        from repro.coherence.messages import CoherenceMessage, CoherenceOp
+        from repro.network import MessageClass, Packet
+
+        system = GS1280System(4)
+        msg = CoherenceMessage(
+            op=CoherenceOp.DATA, address=0, requestor=1,
+            txn_id=999_999, home=2,
+        )
+        system.fabric.inject(Packet(0, 1, MessageClass.RESPONSE, payload=msg))
+        system.run()  # no exception, nothing delivered twice

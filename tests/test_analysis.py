@@ -1,0 +1,157 @@
+"""Analysis-layer tests: shuffle gains, rates, striping, I/O, summary."""
+
+import pytest
+
+from repro.analysis.io import sustained_io_bandwidth_gbps
+from repro.analysis.rates import (
+    per_copy_performance,
+    rate_share_fraction,
+    spec_rate,
+    striped_performance,
+    striping_degradation,
+)
+from repro.analysis.shuffle import PAPER_TABLE1, shuffle_gains, table1
+from repro.analysis.summary import APP_MIXES, SummaryModel
+from repro.config import ES45Config, GS320Config, GS1280Config, TorusShape
+from repro.workloads.spec import benchmark
+
+
+class TestShuffleGains:
+    def test_4x2_matches_table1_exactly(self):
+        g = shuffle_gains(TorusShape(4, 2))
+        assert g.avg_latency_gain == pytest.approx(1.200, abs=1e-3)
+        assert g.worst_latency_gain == pytest.approx(1.500, abs=1e-3)
+        assert g.bisection_gain == pytest.approx(2.000, abs=1e-3)
+        assert g.exact_vs_paper
+
+    def test_4x4_matches_table1_exactly(self):
+        g = shuffle_gains(TorusShape(4, 4))
+        assert g.avg_latency_gain == pytest.approx(1.067, abs=1e-3)
+        assert g.worst_latency_gain == pytest.approx(1.333, abs=1e-3)
+        assert g.exact_vs_paper
+
+    def test_all_shapes_gain_or_hold(self):
+        for g in table1():
+            assert g.avg_latency_gain >= 1.0
+            assert g.worst_latency_gain >= 1.0
+            assert g.bisection_gain >= 1.0
+
+    def test_paper_reference_complete(self):
+        assert len(PAPER_TABLE1) == 6
+
+
+class TestRates:
+    def test_share_fractions(self):
+        assert rate_share_fraction(GS1280Config.build(16), 16) == 1.0
+        assert rate_share_fraction(GS320Config.build(16), 16) == pytest.approx(
+            0.8 / 4
+        )
+        assert rate_share_fraction(ES45Config.build(4), 1) == pytest.approx(1.15)
+
+    def test_anchor_value(self):
+        assert spec_rate(GS1280Config.build(16), 16, "fp") == pytest.approx(251.0)
+
+    def test_fp_rate_ratio_16p(self):
+        """Figure 28: fp rate ratio ~2x."""
+        ratio = spec_rate(GS1280Config.build(16), 16) / spec_rate(
+            GS320Config.build(16), 16
+        )
+        assert 1.6 <= ratio <= 2.4
+
+    def test_int_rate_near_parity(self):
+        ratio = spec_rate(GS1280Config.build(16), 16, "int") / spec_rate(
+            GS320Config.build(16), 16, "int"
+        )
+        assert 1.0 <= ratio <= 1.45
+
+    def test_gs1280_rate_linear(self):
+        r16 = spec_rate(GS1280Config.build(16), 16)
+        r32 = spec_rate(GS1280Config.build(32), 32)
+        assert r32 == pytest.approx(2 * r16, rel=0.01)
+
+
+class TestStriping:
+    def test_striping_never_helps_rate_copies(self):
+        for name, degradation in striping_degradation():
+            assert degradation >= 0.0, name
+
+    def test_memory_bound_degrades_10_to_30pct(self):
+        """Figure 25's range for the bandwidth-heavy benchmarks."""
+        table = dict(striping_degradation())
+        for name in ("swim", "applu", "lucas", "equake", "mgrid"):
+            assert 0.08 <= table[name] <= 0.35, name
+
+    def test_cache_resident_degrades_little(self):
+        table = dict(striping_degradation())
+        assert table["sixtrack"] < 0.06
+        assert table["mesa"] < 0.06
+
+    def test_striped_performance_below_base(self):
+        machine = GS1280Config.build(16)
+        swim = benchmark("swim").character
+        assert striped_performance(machine, swim) < per_copy_performance(
+            machine, swim, 16
+        )
+
+
+class TestIo:
+    def test_gs1280_scales_with_cpus(self):
+        m = GS1280Config.build(32)
+        assert sustained_io_bandwidth_gbps(m, 32) == pytest.approx(
+            2 * sustained_io_bandwidth_gbps(m, 16)
+        )
+
+    def test_gs320_fixed_risers(self):
+        m = GS320Config.build(32)
+        assert sustained_io_bandwidth_gbps(m, 32) == sustained_io_bandwidth_gbps(
+            m, 8
+        )
+
+    def test_ratio_near_8x(self):
+        ratio = sustained_io_bandwidth_gbps(
+            GS1280Config.build(32), 32
+        ) / sustained_io_bandwidth_gbps(GS320Config.build(32), 32)
+        assert ratio == pytest.approx(8.0, rel=0.15)
+
+
+class TestSummary:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return {e.label: e.ratio for e in SummaryModel(fast=True).entries()}
+
+    def test_all_bars_present(self, entries):
+        assert len(entries) == 22  # Figure 28's bar count
+
+    def test_cpu_speed_below_one(self, entries):
+        assert entries["CPU speed"] < 1.0
+
+    def test_component_ratios_in_paper_ranges(self, entries):
+        assert 4.0 <= entries["memory copy bw (1P)"] <= 6.0
+        assert 7.0 <= entries["memory copy bw (32P)"] <= 10.0
+        assert 3.4 <= entries["memory latency (local)"] <= 4.4
+        assert 7.0 <= entries["I/O bandwidth (32P)"] <= 9.0
+
+    def test_commercial_band(self, entries):
+        assert 1.1 <= entries["SAP SD Transaction Processing (32P)"] <= 1.6
+        assert 1.3 <= entries["Decision Support (32P)"] <= 2.0
+
+    def test_hptc_band(self, entries):
+        assert 1.6 <= entries["SPECfp_rate2000 (16P)"] <= 2.4
+        assert 1.8 <= entries["SPEComp2001 (16P)"] <= 2.8
+        assert 2.2 <= entries["NAS Parallel internal (16P)"] <= 3.5
+
+    def test_isv_apps_band(self, entries):
+        """Paper: ISV application gains range 1.2-2.1x."""
+        for label in APP_MIXES:
+            assert 1.1 <= entries[label] <= 2.3, label
+
+    def test_gups_and_swim_are_the_big_winners(self, entries):
+        app_bars = [entries[l] for l in APP_MIXES]
+        assert entries["GUPS internal (32P)"] > max(app_bars)
+        assert entries["swim 32P (SPEComp2001)"] > max(app_bars)
+
+    def test_ip_bandwidth_is_the_largest_component_gain(self, entries):
+        assert entries["Inter-Processor bandwidth (32P)"] >= max(
+            entries["memory copy bw (32P)"] - 2.0,
+            entries["I/O bandwidth (32P)"] - 2.0,
+        )

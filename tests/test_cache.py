@@ -1,0 +1,130 @@
+"""Functional cache and victim-buffer tests."""
+
+import pytest
+
+from repro.cache import Cache, VictimBuffer
+from repro.config import CacheConfig
+
+
+def small_cache(assoc=2, size=1024, line=64):
+    return Cache(
+        CacheConfig(
+            size_bytes=size,
+            associativity=assoc,
+            line_bytes=line,
+            load_to_use_ns=3.0,
+            on_chip=True,
+        )
+    )
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0).hit is False
+        assert cache.access(0).hit is True
+        assert cache.access(32).hit is True  # same line
+
+    def test_set_mapping(self):
+        cache = small_cache()  # 8 sets, 2 ways
+        assert cache.n_sets == 8
+        # Same set, different tags.
+        cache.access(0)
+        cache.access(8 * 64)
+        assert cache.access(0).hit and cache.access(8 * 64).hit
+
+    def test_lru_eviction(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(8 * 64)
+        result = cache.access(16 * 64)  # third tag in a 2-way set
+        assert result.hit is False
+        assert result.victim_tag is not None
+        assert cache.access(0).hit is False  # 0 was LRU, evicted
+
+    def test_lru_refresh_on_hit(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(8 * 64)
+        cache.access(0)  # refresh
+        cache.access(16 * 64)  # evicts 8*64, not 0
+        assert cache.access(0).hit is True
+
+    def test_dirty_victim_reported(self):
+        cache = small_cache(assoc=1)  # 16 sets
+        cache.access(0, write=True)
+        result = cache.access(16 * 64)  # same set, different tag
+        assert result.victim_dirty is True
+        # victim tag decodes back to the evicted line's address range
+        assert result.victim_tag * 64 == 0
+
+    def test_clean_victim(self):
+        cache = small_cache(assoc=1)
+        cache.access(0)
+        assert cache.access(16 * 64).victim_dirty is False
+
+    def test_probe_does_not_allocate_or_refresh(self):
+        cache = small_cache()
+        assert cache.probe(0) is False
+        cache.access(0)
+        assert cache.probe(0) is True
+        assert cache.hits == 0 and cache.misses == 1
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0, write=True)
+        assert cache.invalidate(0) is True  # was dirty
+        assert cache.probe(0) is False
+        assert cache.invalidate(0) is False  # already gone
+
+    def test_direct_mapped_conflicts(self):
+        cache = small_cache(assoc=1, size=512)
+        cache.access(0)
+        cache.access(512)  # maps to same set
+        assert cache.access(0).hit is False
+
+    def test_capacity_accounting(self):
+        cache = small_cache()
+        for i in range(16):
+            cache.access(i * 64)
+        assert cache.resident_lines() == 16
+        assert cache.hit_rate() == 0.0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheConfig(1000, 3, 64, 1.0, True))
+
+
+class TestVictimBuffer:
+    def test_no_stall_when_buffers_free(self):
+        vb = VictimBuffer(n_entries=4, drain_bw_gbps=1.0)
+        assert vb.evict(0.0) == 0.0
+
+    def test_stall_when_all_buffers_draining(self):
+        vb = VictimBuffer(n_entries=2, drain_bw_gbps=1.0)  # 64 ns drain
+        assert vb.evict(0.0) == 0.0
+        assert vb.evict(0.0) == 0.0
+        # Third eviction at t=0 must wait for the first drain (64 ns).
+        assert vb.evict(0.0) == pytest.approx(64.0)
+
+    def test_drained_buffers_reusable(self):
+        vb = VictimBuffer(n_entries=1, drain_bw_gbps=1.0)
+        vb.evict(0.0)
+        assert vb.evict(100.0) == 0.0  # drained long ago
+
+    def test_occupancy(self):
+        vb = VictimBuffer(n_entries=4, drain_bw_gbps=1.0)
+        vb.evict(0.0)
+        vb.evict(0.0)
+        assert vb.occupancy(1.0) == 2
+        assert vb.occupancy(200.0) == 0
+
+    def test_stall_accounting(self):
+        vb = VictimBuffer(n_entries=1, drain_bw_gbps=1.0)
+        vb.evict(0.0)
+        vb.evict(0.0)
+        assert vb.stall_ns_total == pytest.approx(64.0)
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            VictimBuffer(0, 1.0)

@@ -1,0 +1,90 @@
+"""Calibration oracles: the simulated machines must land on the paper's
+measured numbers.  These tests pin the whole config/fabric/coherence
+stack against Figures 4, 5, 12, 13 and the Section 7 ratios.
+"""
+
+import pytest
+
+from repro.analysis.latency import (
+    PAPER_FIG13_MAP,
+    average_latency,
+    average_read_dirty_latency,
+    latency_map,
+    warm_read_latency,
+)
+from repro.systems import ES45System, GS320System, GS1280System
+
+
+class TestFig13LatencyMap:
+    """Warm dependent-read latency from node 0 on the 16P GS1280."""
+
+    @pytest.fixture(scope="class")
+    def model_map(self):
+        return latency_map(lambda: GS1280System(16), 16)
+
+    def test_local_latency_83ns(self, model_map):
+        assert model_map[0] == pytest.approx(83.0, abs=1.5)
+
+    def test_one_hop_module_neighbor(self, model_map):
+        assert model_map[4] == pytest.approx(139.0, abs=4.0)
+
+    def test_one_hop_backplane_neighbor(self, model_map):
+        assert model_map[1] == pytest.approx(145.0, abs=4.0)
+
+    def test_one_hop_cable_neighbors(self, model_map):
+        assert model_map[3] == pytest.approx(154.0, abs=5.0)
+        assert model_map[12] == pytest.approx(154.0, abs=5.0)
+
+    def test_four_hop_worst_case(self, model_map):
+        assert model_map[10] == pytest.approx(259.0, abs=20.0)
+
+    def test_every_node_within_tolerance(self, model_map):
+        for node, (model, paper) in enumerate(zip(model_map, PAPER_FIG13_MAP)):
+            assert model == pytest.approx(paper, abs=20.0), f"node {node}"
+
+    def test_average_close_to_paper(self, model_map):
+        model_avg = sum(model_map) / 16
+        paper_avg = sum(PAPER_FIG13_MAP) / 16
+        assert model_avg == pytest.approx(paper_avg, rel=0.05)
+
+
+class TestGS320Latency:
+    def test_local_near_330ns(self):
+        latency = warm_read_latency(lambda: GS320System(16), home=0)
+        assert latency == pytest.approx(330.0, abs=15.0)
+
+    def test_remote_near_860ns(self):
+        latency = warm_read_latency(lambda: GS320System(16), home=12)
+        assert latency == pytest.approx(860.0, abs=40.0)
+
+    def test_two_level_structure(self):
+        lat = latency_map(lambda: GS320System(16), 16)
+        local = lat[:4]
+        remote = lat[4:]
+        assert max(local) < 400 < min(remote)
+
+
+class TestES45Latency:
+    def test_local_near_220ns(self):
+        latency = warm_read_latency(lambda: ES45System(4), home=0)
+        assert latency == pytest.approx(219.0, abs=15.0)
+
+
+class TestSection7Ratios:
+    def test_16p_average_latency_ratio_near_4x(self):
+        """Figure 12: 4x average advantage at 16 CPUs."""
+        gs1280 = average_latency(lambda: GS1280System(16), 16)
+        gs320 = average_latency(lambda: GS320System(16), 16)
+        assert 3.4 <= gs320 / gs1280 <= 4.6
+
+    def test_read_dirty_ratio_near_6_6x(self):
+        """Figure 12 / Section 3.4: 6.6x on Read-Dirty."""
+        gs1280 = average_read_dirty_latency(lambda: GS1280System(16), 16, 6)
+        gs320 = average_read_dirty_latency(lambda: GS320System(16), 16, 6)
+        assert 5.0 <= gs320 / gs1280 <= 8.0
+
+    def test_local_latency_ratio_near_3_8x(self):
+        """Figure 4 at 32MB: 3.8x."""
+        gs1280 = warm_read_latency(lambda: GS1280System(4), home=0)
+        gs320 = warm_read_latency(lambda: GS320System(4), home=0)
+        assert 3.4 <= gs320 / gs1280 <= 4.4

@@ -1,0 +1,53 @@
+"""Closed-loop runner tests, including latency-percentile capture."""
+
+import pytest
+
+from repro.sim import RngFactory
+from repro.systems import GS1280System
+from repro.workloads.closed_loop import run_closed_loop
+from repro.workloads.loadtest import make_random_remote_picker
+
+FAST = dict(warmup_ns=2000.0, window_ns=5000.0)
+
+
+def run(n=8, outstanding=4, **kwargs):
+    system = GS1280System(n)
+    rng = RngFactory(0)
+    pickers = [make_random_remote_picker(rng, c, n) for c in range(n)]
+    return run_closed_loop(system, pickers, outstanding=outstanding,
+                           **FAST, **kwargs)
+
+
+class TestRunner:
+    def test_result_fields_consistent(self):
+        result = run()
+        assert result.completed > 0
+        assert result.bandwidth_mbps == pytest.approx(
+            result.bandwidth_gbps * 1000
+        )
+        assert result.per_cpu_rate_per_ns > 0
+        assert result.latency_percentiles is None
+
+    def test_picker_count_validated(self):
+        system = GS1280System(8)
+        with pytest.raises(ValueError):
+            run_closed_loop(system, [lambda: (0, 1)], outstanding=1)
+
+    def test_percentile_capture(self):
+        result = run(record_percentiles=True)
+        p = result.latency_percentiles
+        assert set(p) == {50, 95, 99}
+        assert p[50] <= p[95] <= p[99]
+        # The mean sits between the median and the tail.
+        assert p[50] * 0.5 <= result.latency_ns <= p[99]
+
+    def test_tail_grows_with_load(self):
+        light = run(outstanding=1, record_percentiles=True)
+        heavy = run(outstanding=24, record_percentiles=True)
+        assert heavy.latency_percentiles[99] > light.latency_percentiles[99]
+
+    def test_deterministic_given_seed(self):
+        a = run()
+        b = run()
+        assert a.completed == b.completed
+        assert a.latency_ns == pytest.approx(b.latency_ns)

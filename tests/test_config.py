@@ -1,0 +1,102 @@
+"""Machine-config tests: paper constants must stay pinned."""
+
+import pytest
+
+from repro.config import (
+    ES45Config,
+    GS1280Config,
+    GS320Config,
+    SC45Config,
+    torus_shape_for,
+)
+
+
+class TestGS1280Config:
+    def setup_method(self):
+        self.cfg = GS1280Config.build(16)
+
+    def test_paper_constants(self):
+        # Section 2 of the paper, verbatim.
+        assert self.cfg.clock_ghz == 1.15
+        assert self.cfg.l2.size_bytes == int(1.75 * 1024 * 1024)
+        assert self.cfg.l2.associativity == 7
+        assert abs(self.cfg.l2.load_to_use_ns - 12 / 1.15) < 0.05  # 12 cycles
+        assert self.cfg.memory.peak_bw_gbps == 12.3
+        assert self.cfg.memory.max_open_pages == 2048
+        assert self.cfg.memory.channels == 8
+        assert self.cfg.link_bw_gbps == 3.1  # 6.2 GB/s per link pair
+        assert self.cfg.io_bw_per_hose_gbps == 3.1
+        assert self.cfg.victim_buffers == 16
+
+    def test_local_latency_is_83ns(self):
+        # Figure 13's local corner.
+        assert self.cfg.local_memory_latency_ns == pytest.approx(83.0, abs=1.0)
+
+    def test_closed_page_near_130ns(self):
+        closed = (
+            self.cfg.local_memory_latency_ns
+            + self.cfg.memory.closed_page_extra_ns
+        )
+        assert 125 <= closed <= 140  # Figure 5's upper plateau
+
+    def test_on_chip_caches(self):
+        assert self.cfg.l1.on_chip and self.cfg.l2.on_chip
+
+
+class TestGS320Config:
+    def setup_method(self):
+        self.cfg = GS320Config.build(32)
+
+    def test_structure(self):
+        assert self.cfg.cpus_per_qbb == 4
+        assert self.cfg.n_qbbs == 8
+        assert not self.cfg.l2.on_chip
+        assert self.cfg.l2.size_bytes == 16 * 1024 * 1024
+        assert self.cfg.l2.associativity == 1  # direct-mapped
+
+    def test_local_latency_near_330ns(self):
+        assert self.cfg.local_memory_latency_ns == pytest.approx(330, abs=10)
+
+    def test_local_accesses_ride_the_fabric(self):
+        assert self.cfg.local_via_fabric
+
+
+class TestES45Config:
+    def test_max_4_cpus(self):
+        with pytest.raises(ValueError):
+            ES45Config.build(8)
+
+    def test_local_latency_near_220ns(self):
+        cfg = ES45Config.build(4)
+        assert cfg.local_memory_latency_ns == pytest.approx(219, abs=10)
+
+
+class TestSC45Config:
+    def test_node_count(self):
+        assert SC45Config.build(16).n_nodes == 4
+        assert SC45Config.build(4).n_nodes == 1
+
+    def test_inherits_es45_memory(self):
+        sc = SC45Config.build(16)
+        assert sc.memory == ES45Config.build(4).memory
+
+
+class TestTorusShapes:
+    def test_standard_shapes(self):
+        assert str(torus_shape_for(8)) == "4x2"
+        assert str(torus_shape_for(16)) == "4x4"
+        assert str(torus_shape_for(32)) == "8x4"
+        assert str(torus_shape_for(64)) == "8x8"
+
+    def test_node_counts(self):
+        for n in (2, 4, 8, 16, 32, 64, 128, 256):
+            assert torus_shape_for(n).n_nodes == n
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            torus_shape_for(12)
+
+    def test_with_cpus_rescales(self):
+        cfg = GS1280Config.build(16).with_cpus(64)
+        assert cfg.n_cpus == 64
+        assert cfg.clock_ghz == 1.15

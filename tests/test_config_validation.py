@@ -1,0 +1,79 @@
+"""Config dataclass validation and parametrized IPC sanity sweeps."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ES45Config,
+    GS320Config,
+    GS1280Config,
+    MemoryConfig,
+)
+from repro.cpu import IpcModel
+from repro.workloads.spec import ALL_BENCHMARKS
+
+MACHINES = [GS1280Config.build(1), ES45Config.build(4), GS320Config.build(4)]
+
+
+class TestValidation:
+    def test_cache_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 2, 64, 3.0, True)
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 0, 64, 3.0, True)
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 2, 64, 0.0, True)
+
+    def test_memory_rejects_nonsense(self):
+        good = GS1280Config.build(1).memory
+        with pytest.raises(ValueError):
+            dataclasses.replace(good, peak_bw_gbps=0.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(good, stream_efficiency=1.5)
+        with pytest.raises(ValueError):
+            dataclasses.replace(good, max_open_pages=0)
+
+    def test_machine_rejects_nonsense(self):
+        good = GS1280Config.build(4)
+        with pytest.raises(ValueError):
+            dataclasses.replace(good, clock_ghz=0.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(good, n_cpus=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(good, mlp=0)
+
+    def test_standard_configs_all_valid(self):
+        for n in (4, 16, 64):
+            GS1280Config.build(n)
+        for n in (4, 16, 32):
+            GS320Config.build(n)
+        ES45Config.build(4)
+
+
+class TestIpcSanitySweep:
+    """Every (benchmark, machine) pair must land in physical bounds."""
+
+    @pytest.mark.parametrize(
+        "bench", ALL_BENCHMARKS, ids=lambda b: b.name
+    )
+    def test_ipc_in_bounds_everywhere(self, bench):
+        for machine in MACHINES:
+            result = IpcModel(machine).evaluate(bench.character)
+            # 4-wide core, >= the most memory-bound credible floor.
+            assert 0.04 <= result.ipc <= 2.5, (bench.name, machine.name)
+            assert 0.0 <= result.memory_utilization <= 0.70
+            assert result.cpi == pytest.approx(
+                result.cpi_core + result.cpi_l2 + result.cpi_memory
+            )
+
+    @pytest.mark.parametrize(
+        "bench", ALL_BENCHMARKS, ids=lambda b: b.name
+    )
+    def test_gs1280_never_loses_badly(self, bench):
+        """Worst case (facerec-style) the GS1280 trails by < 35%; it
+        never wins by more than the swim-class ~5x."""
+        gs1280 = IpcModel(MACHINES[0]).evaluate(bench.character).ipc
+        gs320 = IpcModel(MACHINES[2]).evaluate(bench.character).ipc
+        assert 0.65 <= gs1280 / gs320 <= 5.0, bench.name

@@ -1,0 +1,92 @@
+"""Conservation property tests (hypothesis): bytes, busy time, and
+packets are neither created nor destroyed anywhere in the fabric."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GS1280Config, LinkClass
+from repro.network import Link, MessageClass, Packet
+from repro.memory import Zbox
+from repro.sim import Simulator
+from repro.systems import GS1280System
+
+classes = st.sampled_from(
+    [MessageClass.REQUEST, MessageClass.FORWARD,
+     MessageClass.RESPONSE, MessageClass.IO]
+)
+
+
+@given(st.lists(st.tuples(classes, st.integers(8, 4096)), min_size=1,
+                max_size=60))
+def test_link_conserves_bytes_and_packets(submissions):
+    sim = Simulator()
+    link = Link(sim, 0, 1, 2.0, 3.0, LinkClass.BACKPLANE)
+    arrived = []
+    for msg_class, size in submissions:
+        link.submit(Packet(0, 1, msg_class, size_bytes=size),
+                    lambda p: arrived.append(p))
+    sim.run()
+    assert len(arrived) == len(submissions)
+    assert link.packets_total == len(submissions)
+    total_bytes = sum(size for _cls, size in submissions)
+    assert link.bytes_total == total_bytes
+    # Busy time == serialization time of everything sent.
+    assert abs(link.busy_ns_total - total_bytes / 2.0) < 1e-6
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**24), st.integers(64, 2048),
+                          st.booleans()),
+                min_size=1, max_size=60))
+def test_zbox_conserves_bytes_and_completions(accesses):
+    sim = Simulator()
+    zbox = Zbox(sim, 0, GS1280Config.build(1).memory)
+    done = []
+    for address, size, write in accesses:
+        zbox.access(address, size, lambda: done.append(sim.now), write=write)
+    sim.run()
+    assert len(done) == len(accesses)
+    assert zbox.accesses_total == len(accesses)
+    assert zbox.bytes_total == sum(size for _a, size, _w in accesses)
+    # Completions never precede the simulator clock going backwards.
+    assert done == sorted(done)
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_fabric_delivers_every_injected_packet(pairs):
+    """Whatever enters the torus leaves it, exactly once."""
+    system = GS1280System(16)
+    delivered = []
+    for node in range(16):
+        system.fabric._agents[node] = delivered.append  # raw delivery taps
+    for src, dst in pairs:
+        system.fabric.inject(Packet(src, dst, MessageClass.REQUEST,
+                                    payload=(src, dst)))
+    system.run()
+    assert sorted(p.payload for p in delivered) == sorted(pairs)
+    for packet in delivered:
+        assert packet.hops >= system.topology.distance(*packet.payload)
+
+
+@given(st.integers(0, 2**31), st.integers(1, 30))
+@settings(max_examples=20, deadline=None)
+def test_read_request_conservation_end_to_end(seed, n_reads):
+    """Every read completes exactly once and moves exactly one line of
+    data out of exactly one Zbox."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    system = GS1280System(8)
+    completions = []
+    for _ in range(n_reads):
+        cpu = int(rng.integers(0, 8))
+        home = int(rng.integers(0, 8))
+        system.agent(cpu).read(
+            int(rng.integers(0, 1 << 24)) * 64,
+            completions.append,
+            home=home,
+        )
+    system.run()
+    assert len(completions) == n_reads
+    assert sum(z.accesses_total for z in system.zboxes) == n_reads

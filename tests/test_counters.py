@@ -1,0 +1,56 @@
+"""System-wide counter snapshot tests."""
+
+from repro.analysis.latency import warm_read_latency  # noqa: F401 (import check)
+from repro.systems import GS320System, GS1280System
+
+
+def test_idle_machine_counts_zero():
+    system = GS1280System(4)
+    system.run(until_ns=1000.0)
+    counters = system.counters()
+    assert counters["links"]["packets"] == 0
+    assert all(z["accesses"] == 0 for z in counters["zbox"])
+    assert counters["directory"]["requests"] == 0
+
+
+def test_remote_read_shows_up_everywhere():
+    system = GS1280System(4)
+    system.agent(0).read(0, lambda t: None, home=2)
+    system.run()
+    counters = system.counters()
+    assert counters["directory"]["requests"] == 1
+    assert counters["links"]["packets"] >= 2
+    assert counters["zbox"][2]["accesses"] == 1
+    assert counters["zbox"][2]["bytes"] == 64
+
+
+def test_dirty_read_counts_a_forward():
+    system = GS1280System(16)
+    system.agent(8).read_mod(
+        64,
+        lambda _t: system.agent(0).read(64, lambda t: None, home=4),
+        home=4,
+    )
+    system.run()
+    assert system.counters()["directory"]["forwards"] == 1
+
+
+def test_counters_monotone_over_time():
+    from repro.cpu import LoadGenerator
+    from repro.sim import RngFactory
+    from repro.workloads.loadtest import make_random_remote_picker
+
+    system = GS320System(8)
+    rng = RngFactory(0)
+    for cpu in range(8):
+        LoadGenerator(
+            system.sim, system.agent(cpu),
+            make_random_remote_picker(rng, cpu, 8), outstanding=2,
+        ).start()
+    system.run(until_ns=2000.0)
+    early = system.counters()
+    system.run(until_ns=6000.0)
+    late = system.counters()
+    assert late["links"]["bytes"] > early["links"]["bytes"]
+    assert late["directory"]["requests"] > early["directory"]["requests"]
+    assert late["time_ns"] > early["time_ns"]

@@ -1,0 +1,116 @@
+"""Directory protocol state-machine tests (Section 2's transitions)."""
+
+import pytest
+
+from repro.coherence import CoherenceOp, Directory, LineState
+
+
+def make_directory():
+    return Directory(home=0)
+
+
+class TestReads:
+    def test_read_invalid_serves_memory(self):
+        d = make_directory()
+        actions = d.handle(CoherenceOp.READ, 0x1000, requestor=3)
+        assert actions.read_memory and actions.respond_to == 3
+        assert actions.forward_to is None
+        assert d.state_of(0x1000) == LineState.SHARED
+        assert d.entry(0x1000).sharers == {3}
+
+    def test_read_shared_adds_sharer(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ, 0x1000, 3)
+        actions = d.handle(CoherenceOp.READ, 0x1000, 5)
+        assert actions.respond_to == 5
+        assert d.entry(0x1000).sharers == {3, 5}
+
+    def test_read_exclusive_forwards_to_owner(self):
+        """The Read-Dirty path: Forward to owner, owner responds."""
+        d = make_directory()
+        d.handle(CoherenceOp.READ_MOD, 0x1000, 7)
+        actions = d.handle(CoherenceOp.READ, 0x1000, 2)
+        assert actions.forward_to == 7
+        assert actions.forward_op == CoherenceOp.FORWARD_READ
+        assert not actions.read_memory  # data comes from the owner
+        assert d.state_of(0x1000) == LineState.SHARED
+        assert d.entry(0x1000).sharers == {2, 7}
+
+
+class TestReadMod:
+    def test_read_mod_invalid_grants_exclusive(self):
+        d = make_directory()
+        actions = d.handle(CoherenceOp.READ_MOD, 0x2000, 4)
+        assert actions.read_memory and actions.respond_to == 4
+        assert actions.acks_expected == 0
+        assert d.state_of(0x2000) == LineState.EXCLUSIVE
+        assert d.entry(0x2000).owner == 4
+
+    def test_read_mod_shared_invalidates_sharers(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ, 0x2000, 1)
+        d.handle(CoherenceOp.READ, 0x2000, 2)
+        actions = d.handle(CoherenceOp.READ_MOD, 0x2000, 3)
+        assert set(actions.invalidate) == {1, 2}
+        assert actions.acks_expected == 2
+        assert actions.respond_to == 3
+        assert d.entry(0x2000).owner == 3
+
+    def test_read_mod_by_sharer_skips_self_invalidate(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ, 0x2000, 1)
+        d.handle(CoherenceOp.READ, 0x2000, 2)
+        actions = d.handle(CoherenceOp.READ_MOD, 0x2000, 1)
+        assert set(actions.invalidate) == {2}
+
+    def test_read_mod_exclusive_transfers_ownership(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ_MOD, 0x2000, 5)
+        actions = d.handle(CoherenceOp.READ_MOD, 0x2000, 9)
+        assert actions.forward_to == 5
+        assert actions.forward_op == CoherenceOp.FORWARD_MOD
+        assert d.entry(0x2000).owner == 9
+
+    def test_owner_upgrade_is_local(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ_MOD, 0x2000, 5)
+        actions = d.handle(CoherenceOp.READ_MOD, 0x2000, 5)
+        assert actions.forward_to is None
+        assert actions.respond_to == 5
+
+
+class TestVictims:
+    def test_victim_from_owner_clears_line(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ_MOD, 0x3000, 6)
+        actions = d.handle(CoherenceOp.VICTIM, 0x3000, 6)
+        assert actions.write_memory
+        assert d.state_of(0x3000) == LineState.INVALID
+
+    def test_stale_victim_preserves_new_owner(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ_MOD, 0x3000, 6)
+        d.handle(CoherenceOp.READ_MOD, 0x3000, 8)  # ownership moved
+        d.handle(CoherenceOp.VICTIM, 0x3000, 6)  # old owner's late victim
+        assert d.entry(0x3000).owner == 8
+        assert d.state_of(0x3000) == LineState.EXCLUSIVE
+
+
+class TestBookkeeping:
+    def test_counters(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ, 0, 1)
+        d.handle(CoherenceOp.READ, 0, 2)
+        d.handle(CoherenceOp.READ_MOD, 0, 3)
+        assert d.requests_handled == 3
+        assert d.invalidations_sent == 2
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            make_directory().handle("Bogus", 0, 1)
+
+    def test_lines_tracked(self):
+        d = make_directory()
+        d.handle(CoherenceOp.READ, 0, 1)
+        d.handle(CoherenceOp.READ, 64, 1)
+        assert d.lines_tracked() == 2

@@ -1,0 +1,81 @@
+"""Path-diversity analysis tests (explains the ext03 finding)."""
+
+import pytest
+
+from repro.analysis.diversity import path_diversity
+from repro.config import TorusShape
+from repro.network import ShuffleTopology, TorusTopology
+
+
+class TestTorusDiversity:
+    def test_4x4_average_fan_out(self):
+        stats = path_diversity(TorusTopology(TorusShape(4, 4)))
+        # On a 4x4 torus most pairs have 2+ productive directions.
+        assert stats.mean_next_hops > 1.5
+
+    def test_ring_has_no_diversity_except_antipodes(self):
+        stats = path_diversity(TorusTopology(TorusShape(8, 1)))
+        # Only the distance-4 (antipodal) pairs have two minimal paths.
+        assert stats.single_path_fraction == pytest.approx(6 / 7)
+
+    def test_larger_torus_more_paths(self):
+        small = path_diversity(TorusTopology(TorusShape(4, 4)))
+        large = path_diversity(TorusTopology(TorusShape(8, 8)))
+        assert large.mean_minimal_paths > small.mean_minimal_paths
+
+
+class TestShuffleTradeoff:
+    def test_twisted_4x4_trades_diversity_for_distance(self):
+        """The ext03 saturation finding, quantified: shorter average
+        paths but fewer of them."""
+        torus = TorusTopology(TorusShape(4, 4))
+        shuffled = ShuffleTopology(TorusShape(4, 4))
+        torus_div = path_diversity(torus)
+        shuffle_div = path_diversity(shuffled)
+        assert shuffled.average_distance() < torus.average_distance()
+        assert shuffle_div.mean_minimal_paths < torus_div.mean_minimal_paths
+
+    def test_8p_shuffle_keeps_diversity(self):
+        """The two-row shuffle (the one actually built) adds links, so
+        it gains distance without losing diversity -- consistent with
+        its measured Figure 18 win."""
+        torus = path_diversity(TorusTopology(TorusShape(4, 2)))
+        shuffled = path_diversity(ShuffleTopology(TorusShape(4, 2)))
+        assert shuffled.mean_next_hops >= torus.mean_next_hops
+
+
+class TestIpcExplain:
+    def test_breakdown_sums_to_cpi(self):
+        from repro.config import GS1280Config
+        from repro.cpu import IpcModel
+        from repro.workloads.spec import benchmark
+
+        result = IpcModel(GS1280Config.build(1)).evaluate(
+            benchmark("swim").character
+        )
+        assert result.cpi == pytest.approx(
+            result.cpi_core + result.cpi_l2 + result.cpi_memory
+        )
+        assert result.memory_bound in ("latency", "bandwidth")
+        text = result.explain()
+        assert "memory" in text and "CPI" in text
+
+    def test_swim_is_bandwidth_bound_on_gs1280(self):
+        from repro.config import GS1280Config
+        from repro.cpu import IpcModel
+        from repro.workloads.spec import benchmark
+
+        result = IpcModel(GS1280Config.build(1)).evaluate(
+            benchmark("swim").character
+        )
+        assert result.memory_bound == "bandwidth"
+
+    def test_mcf_is_latency_bound(self):
+        from repro.config import GS1280Config
+        from repro.cpu import IpcModel
+        from repro.workloads.spec import benchmark
+
+        result = IpcModel(GS1280Config.build(1)).evaluate(
+            benchmark("mcf").character
+        )
+        assert result.memory_bound == "latency"

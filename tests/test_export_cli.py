@@ -1,0 +1,78 @@
+"""Experiment export (JSON) and CLI runner tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    export_results,
+    result_to_dict,
+    result_to_json,
+)
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import main
+
+
+class TestExport:
+    def test_dict_schema(self):
+        result = run_experiment("fig07")
+        doc = result_to_dict(result)
+        assert doc["id"] == "fig07"
+        assert doc["headers"] == result.headers
+        assert doc["rows"] == [list(r) for r in result.rows]
+        assert doc["schema"] == 1
+
+    def test_json_round_trip(self):
+        result = run_experiment("tab01")
+        parsed = json.loads(result_to_json(result))
+        assert parsed["title"] == result.title
+        assert len(parsed["rows"]) == 6
+
+    def test_export_file(self, tmp_path):
+        path = tmp_path / "results.json"
+        document = export_results(path, ids=["fig07", "fig04"])
+        on_disk = json.loads(path.read_text())
+        assert set(on_disk["experiments"]) == {"fig07", "fig04"}
+        assert document["experiments"]["fig04"]["rows"]
+
+    def test_export_without_path(self):
+        document = export_results(None, ids=["fig07"])
+        assert "fig07" in document["experiments"]
+
+    def test_export_deterministic(self):
+        a = export_results(None, ids=["fig05"], seed=3)
+        b = export_results(None, ids=["fig05"], seed=3)
+        assert a == b
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "tab01" in out
+
+    def test_run_text(self, capsys):
+        assert main(["run", "fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "STREAM" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "fig07", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["id"] == "fig07"
+
+    def test_export_command(self, tmp_path, capsys, monkeypatch):
+        # Export everything would take minutes; patch the registry to a
+        # cheap subset for the CLI path.
+        import repro.experiments.export as export_mod
+
+        monkeypatch.setattr(
+            export_mod, "experiment_ids", lambda: ["fig07"]
+        )
+        path = tmp_path / "out.json"
+        assert main(["export", str(path)]) == 0
+        assert json.loads(path.read_text())["experiments"]["fig07"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])

@@ -1,0 +1,166 @@
+"""One test class per analytic figure, asserting the paper's specific
+claims about it (the event-driven figures' claims live in
+test_experiments.py and test_extensions.py)."""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+class TestFig01Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig01")
+
+    def test_gs1280_monotone_scaling(self, result):
+        values = result.column("GS1280/1.15GHz")
+        assert values == sorted(values)
+
+    def test_gs1280_leads_everywhere(self, result):
+        for row in result.rows:
+            _n, gs1280, sc45, gs320 = row
+            assert gs1280 >= sc45 * 0.95
+            if gs320 is not None:
+                assert gs1280 > gs320
+
+    def test_anchor_respected(self, result):
+        row16 = next(r for r in result.rows if r[0] == 16)
+        assert row16[1] == pytest.approx(251.0)
+
+
+class TestFig04Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig04")
+
+    def test_each_curve_monotone(self, result):
+        for col in result.headers[1:]:
+            values = result.column(col)
+            assert values == sorted(values), col
+
+    def test_l1_region_flat_and_tiny(self, result):
+        first = result.rows[0]
+        assert all(v < 4.0 for v in first[1:])
+
+    def test_crossover_window_exists(self, result):
+        """GS1280 must lose somewhere between 1.75MB and 16MB and win
+        on both sides of that window."""
+        by_size = {r[0]: r for r in result.rows}
+        assert by_size["4m"][1] > by_size["4m"][2]  # loses at 4MB
+        assert by_size["256k"][1] < by_size["256k"][2]  # wins at 256KB
+        assert by_size["64m"][1] < by_size["64m"][2]  # wins at 64MB
+
+
+class TestFig05Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig05")
+
+    def test_small_dataset_insensitive_to_stride(self, result):
+        row4k = result.rows[0]
+        assert max(row4k[1:]) < 12.0  # caches, not DRAM pages
+
+    def test_memory_row_rises_with_stride(self, result):
+        row16m = result.rows[-1]
+        assert row16m[-1] > row16m[1]
+
+
+class TestFig06Fig07Claims:
+    def test_fig06_ordering_gs1280_top(self):
+        result = run_experiment("fig06")
+        for row in result.rows:
+            _n, gs1280, gs320, sc45 = row
+            if gs320 is not None:
+                assert gs1280 >= gs320
+            assert gs1280 >= sc45
+
+    def test_fig07_one_cpu_already_wins(self):
+        result = run_experiment("fig07")
+        one = result.rows[0]
+        assert one[1] > 2 * one[2] and one[1] > 3 * one[3]
+
+
+class TestFig08Fig09Claims:
+    def test_fp_suite_mean_advantage(self):
+        result = run_experiment("fig08")
+        ratios = [r[1] / r[3] for r in result.rows]
+        mean = sum(ratios) / len(ratios)
+        assert 1.2 <= mean <= 2.2  # fp advantage without absurdity
+
+    def test_int_suite_much_flatter_than_fp(self):
+        fp = run_experiment("fig08")
+        integer = run_experiment("fig09")
+        fp_spread = max(r[1] / r[3] for r in fp.rows)
+        int_spread = max(r[1] / r[3] for r in integer.rows)
+        assert fp_spread > 1.5 * int_spread
+
+
+class TestFig10Fig11Claims:
+    def test_fp_groups_ordered(self):
+        result = run_experiment("fig10")
+        means = {r[0]: r[1] for r in result.rows}
+        assert means["swim"] == max(means.values())
+        assert means["mesa"] < 5 and means["sixtrack"] < 5
+
+    def test_every_int_mean_below_every_fp_leader(self):
+        fp = {r[0]: r[1] for r in run_experiment("fig10").rows}
+        integer = {r[0]: r[1] for r in run_experiment("fig11").rows}
+        fp_leaders = sorted(fp.values())[-5:]
+        assert max(integer.values()) < min(fp_leaders)
+
+
+class TestTab01Claims:
+    def test_rectangular_beats_square_on_worst_case(self):
+        result = run_experiment("tab01")
+        by_shape = {r[0]: r for r in result.rows}
+        # Paper: "shuffle is more beneficial in rectangular rather than
+        # in square shaped interconnects" (worst latency column).
+        assert by_shape["4x2"][3] > by_shape["4x4"][3]
+
+
+class TestFig19Fig21Claims:
+    def test_fluent_all_systems_close(self):
+        result = run_experiment("fig19")
+        row16 = next(r for r in result.rows if r[0] == 16)
+        assert max(row16[1:]) / min(row16[1:]) < 1.6
+
+    def test_sp_systems_far_apart(self):
+        result = run_experiment("fig21")
+        row16 = next(r for r in result.rows if r[0] == 16)
+        assert max(row16[1:]) / min(row16[1:]) > 2.5
+
+
+class TestFig25Claims:
+    def test_every_benchmark_degrades_or_holds(self):
+        result = run_experiment("fig25")
+        assert all(r[1] >= 0 for r in result.rows)
+
+    def test_degradation_correlates_with_utilization(self):
+        fig25 = {r[0]: r[1] for r in run_experiment("fig25").rows}
+        fig10 = {r[0]: r[1] for r in run_experiment("fig10").rows}
+        heavy = sorted(fig10, key=fig10.get)[-4:]
+        light = sorted(fig10, key=fig10.get)[:4]
+        heavy_mean = sum(fig25[b] for b in heavy) / 4
+        light_mean = sum(fig25[b] for b in light) / 4
+        assert heavy_mean > 1.5 * light_mean
+
+
+class TestFig28Claims:
+    @pytest.fixture(scope="class")
+    def bars(self):
+        return {r[0]: r[1] for r in run_experiment("fig28").rows}
+
+    def test_component_ordering(self, bars):
+        assert bars["Inter-Processor bandwidth (32P)"] >= 7.0
+        assert bars["CPU speed"] < 1.0
+
+    def test_commercial_below_hptc(self, bars):
+        assert (
+            bars["SAP SD Transaction Processing (32P)"]
+            < bars["NAS Parallel internal (16P)"]
+        )
+
+    def test_every_application_bar_above_cpu_speed(self, bars):
+        for label, value in bars.items():
+            if label != "CPU speed":
+                assert value > bars["CPU speed"], label

@@ -1,0 +1,85 @@
+"""Functional trace-driven core tests and model cross-validation."""
+
+import pytest
+
+from repro.cpu import IpcModel
+from repro.cpu.functional import FunctionalCore, synthetic_trace
+from repro.cpu.ipc import BenchmarkCharacter
+from repro.systems import GS1280System
+
+
+def run_trace(working_set, accesses=4000, locality=0.0, write_fraction=0.3,
+              system=None, cpu=0):
+    system = system or GS1280System(4)
+    core = FunctionalCore(system.sim, system.agent(cpu), system.config)
+    trace = synthetic_trace(working_set, accesses, locality, write_fraction)
+    return core.execute(trace), core
+
+
+class TestTraceExecution:
+    def test_l1_resident_trace_misses_only_cold(self):
+        stats, core = run_trace(working_set=16 * 1024, accesses=4000)
+        # One cold sweep of 256 lines, everything after hits in L1.
+        assert stats.l2_misses <= 256
+        assert core.l1.hits > 10 * core.l1.misses
+
+    def test_l2_resident_trace(self):
+        stats, _ = run_trace(working_set=512 * 1024, accesses=12000)
+        # Cold misses reach memory once; steady state stays in L2.
+        lines = 512 * 1024 // 64
+        assert stats.l2_misses <= lines * 1.1
+
+    def test_memory_resident_trace_misses_continuously(self):
+        stats, _ = run_trace(working_set=8 << 20, accesses=3000)
+        # 8MB > 1.75MB L2: a sequential sweep misses every line.
+        assert stats.l2_misses == pytest.approx(stats.accesses, rel=0.05)
+
+    def test_writes_generate_victim_writebacks(self):
+        # Touch more distinct lines than the 1.75MB L2 holds so dirty
+        # capacity victims drain through the victim buffers.
+        stats, _ = run_trace(working_set=4 << 20, accesses=32000,
+                             write_fraction=1.0)
+        assert stats.victim_writebacks > 1000
+
+    def test_locality_reduces_misses(self):
+        none, _ = run_trace(working_set=8 << 20, accesses=3000, locality=0.0)
+        high, _ = run_trace(working_set=8 << 20, accesses=3000, locality=0.6)
+        assert high.l2_misses < none.l2_misses
+
+    def test_cpi_accounting(self):
+        stats, _ = run_trace(working_set=16 * 1024, accesses=2000)
+        assert stats.cpi > 0
+        assert stats.instructions == 4 * stats.accesses
+
+
+class TestCrossValidation:
+    """Measured CPI must track the analytic IPC model's memory term."""
+
+    def test_memory_bound_cpi_matches_analytic_model(self):
+        stats, _ = run_trace(working_set=8 << 20, accesses=4000,
+                             write_fraction=0.3)
+        system = GS1280System(4)
+        machine = system.config
+        # Build the characterization the trace actually exhibited.
+        character = BenchmarkCharacter(
+            name="trace", suite="fp",
+            cpi_core=0.0,  # the functional core models no ALU work
+            l2_apki=1000.0 * stats.l1_misses / stats.instructions,
+            mpki_anchors={machine.l2.size_mb: stats.l2_mpki},
+            overlap=1.0,  # dependent misses, like the functional core
+            writeback_fraction=stats.victim_writebacks / max(1, stats.l2_misses),
+            page_locality=0.97,  # sequential sweep: ~1 page miss per 64
+        )
+        analytic = IpcModel(machine).evaluate(character)
+        memory_cpi_analytic = analytic.cpi
+        # The functional core adds L1-hit cycles the analytic core term
+        # would absorb; compare the dominant (memory) component.
+        assert stats.cpi == pytest.approx(memory_cpi_analytic, rel=0.30)
+
+    def test_cache_fit_transition_matches_model(self):
+        """Sweeping the working set across the L2 boundary produces the
+        same cliff the analytic mpki anchors encode.  Both traces wrap
+        their working set several times so steady state dominates."""
+        small, _ = run_trace(working_set=512 << 10, accesses=30000)
+        large, _ = run_trace(working_set=3 << 20, accesses=30000)
+        assert large.cpi > 2 * small.cpi

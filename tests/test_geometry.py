@@ -1,0 +1,76 @@
+"""Torus coordinate-arithmetic tests."""
+
+import pytest
+
+from repro.config import TorusShape
+from repro.network import geometry
+
+
+class TestCoordinates:
+    def setup_method(self):
+        self.shape = TorusShape(4, 4)
+
+    def test_round_trip(self):
+        for node in range(16):
+            col, row = geometry.coords_of(self.shape, node)
+            assert geometry.node_at(self.shape, col, row) == node
+
+    def test_row_major_layout(self):
+        assert geometry.coords_of(self.shape, 0) == (0, 0)
+        assert geometry.coords_of(self.shape, 3) == (3, 0)
+        assert geometry.coords_of(self.shape, 4) == (0, 1)
+
+    def test_wraparound(self):
+        assert geometry.node_at(self.shape, 4, 0) == 0
+        assert geometry.node_at(self.shape, -1, 0) == 3
+        assert geometry.node_at(self.shape, 0, -1) == 12
+
+    def test_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            geometry.coords_of(self.shape, 16)
+
+
+class TestDistance:
+    def test_ring_distance(self):
+        assert geometry.ring_distance(0, 3, 4) == 1  # wrap
+        assert geometry.ring_distance(0, 2, 4) == 2
+        assert geometry.ring_distance(1, 1, 4) == 0
+
+    def test_fig13_hop_counts(self):
+        # Hop counts implied by Figure 13's latency bands on the 4x4.
+        shape = TorusShape(4, 4)
+        hops = [geometry.torus_distance(shape, 0, d) for d in range(16)]
+        assert hops == [0, 1, 2, 1, 1, 2, 3, 2, 2, 3, 4, 3, 1, 2, 3, 2]
+
+    def test_diameter_of_8x8(self):
+        shape = TorusShape(8, 8)
+        assert max(
+            geometry.torus_distance(shape, 0, d) for d in range(64)
+        ) == 8
+
+
+class TestMinimalDirections:
+    def test_empty_for_self(self):
+        shape = TorusShape(4, 4)
+        assert geometry.minimal_directions(shape, 5, 5) == []
+
+    def test_single_axis(self):
+        shape = TorusShape(4, 4)
+        # 0 -> 2 is two hops east or two hops west: both productive.
+        dirs = geometry.minimal_directions(shape, 0, 2)
+        assert sorted(dirs) == [1, 3]
+
+    def test_two_axes(self):
+        shape = TorusShape(4, 4)
+        # 0 -> 5 is one east + one south: two productive neighbors.
+        assert sorted(geometry.minimal_directions(shape, 0, 5)) == [1, 4]
+
+    def test_every_direction_reduces_distance(self):
+        shape = TorusShape(8, 4)
+        for src in range(32):
+            for dst in range(32):
+                if src == dst:
+                    continue
+                d = geometry.torus_distance(shape, src, dst)
+                for nxt in geometry.minimal_directions(shape, src, dst):
+                    assert geometry.torus_distance(shape, nxt, dst) == d - 1

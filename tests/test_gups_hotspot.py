@@ -1,0 +1,82 @@
+"""GUPS and hot-spot workload tests (Figures 23/26 claims)."""
+
+import pytest
+
+from repro.memory import NodeLocalMap, StripedMap
+from repro.sim import RngFactory
+from repro.systems import GS320System, GS1280System
+from repro.workloads.gups import make_gups_picker, run_gups
+from repro.workloads.hotspot import make_hotspot_picker, run_hotspot_test
+
+FAST = dict(warmup_ns=2000.0, window_ns=5000.0)
+
+
+class TestGups:
+    def test_picker_covers_all_nodes(self):
+        pick = make_gups_picker(RngFactory(0), 0, 8)
+        nodes = {pick()[1] for _ in range(2000)}
+        assert nodes == set(range(8))
+
+    def test_gs1280_beats_gs320_heavily(self):
+        gs1280 = run_gups(lambda: GS1280System(16), **FAST)
+        gs320 = run_gups(lambda: GS320System(16), **FAST)
+        assert gs1280.mups > 4 * gs320.mups  # paper: >10x at 32P
+
+    def test_scaling_monotone(self):
+        small = run_gups(lambda: GS1280System(8), **FAST)
+        large = run_gups(lambda: GS1280System(16), **FAST)
+        assert large.mups > small.mups
+
+    def test_outstanding_respects_machine_mlp(self):
+        result = run_gups(lambda: GS320System(8), outstanding=None, **FAST)
+        assert result.mups > 0  # runs with the clamped default
+
+    def test_updates_stress_links_more_than_reads(self):
+        """Every update moves the line twice (fill + victim)."""
+        from repro.workloads.closed_loop import run_closed_loop
+
+        def traffic(op):
+            system = GS1280System(8)
+            rng = RngFactory(0)
+            pickers = [make_gups_picker(rng, c, 8) for c in range(8)]
+            run_closed_loop(system, pickers, outstanding=4, op=op, **FAST)
+            return sum(l.bytes_total for l in system.fabric.links())
+
+        assert traffic("update") > 1.5 * traffic("read")
+
+
+class TestHotSpot:
+    def test_picker_resolves_through_owner_map(self):
+        striped = StripedMap(GS1280System(16).shape)
+        pick = make_hotspot_picker(RngFactory(0), 5, striped, owner=0)
+        homes = {pick()[1] for _ in range(2000)}
+        assert homes == {0, 4}  # the module pair
+
+    def test_unstriped_hotspot_hits_only_node0(self):
+        pick = make_hotspot_picker(RngFactory(0), 5, NodeLocalMap(), owner=0)
+        homes = {pick()[1] for _ in range(500)}
+        assert homes == {0}
+
+    def test_striping_improves_hotspot_bandwidth(self):
+        """Figure 26: up to ~80% gain."""
+        plain = run_hotspot_test(
+            lambda: GS1280System(16, striped=False), (4, 16), **FAST
+        )
+        striped = run_hotspot_test(
+            lambda: GS1280System(16, striped=True), (4, 16), **FAST
+        )
+        gain = (
+            striped.saturation_bandwidth_mbps()
+            / plain.saturation_bandwidth_mbps()
+        )
+        assert 1.3 <= gain <= 2.1
+
+    def test_hotspot_saturates_below_uniform_traffic(self):
+        from repro.workloads.loadtest import run_load_test
+
+        uniform = run_load_test(lambda: GS1280System(16), (16,), **FAST)
+        hot = run_hotspot_test(lambda: GS1280System(16), (16,), **FAST)
+        assert (
+            hot.saturation_bandwidth_mbps()
+            < uniform.saturation_bandwidth_mbps() / 2
+        )

@@ -1,0 +1,83 @@
+"""Analytic memory-hierarchy latency model tests (Figures 4/5)."""
+
+import pytest
+
+from repro.cache import HierarchyLatencyModel
+from repro.config import ES45Config, GS320Config, GS1280Config
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestGS1280Curve:
+    def setup_method(self):
+        self.model = HierarchyLatencyModel(GS1280Config.build(1))
+
+    def test_l1_plateau(self):
+        assert self.model.dependent_load_latency_ns(16 * KB) == pytest.approx(
+            2.6, abs=0.1
+        )
+
+    def test_l2_plateau(self):
+        assert self.model.dependent_load_latency_ns(512 * KB) == pytest.approx(
+            10.4, abs=0.5
+        )
+
+    def test_memory_plateau_83ns(self):
+        latency = self.model.dependent_load_latency_ns(32 * MB)
+        assert latency == pytest.approx(83.8, abs=2.0)
+
+    def test_monotone_in_size(self):
+        sizes = [4 * KB, 64 * KB, 256 * KB, 2 * MB, 8 * MB, 64 * MB]
+        values = [self.model.dependent_load_latency_ns(s) for s in sizes]
+        assert values == sorted(values)
+
+    def test_closed_page_stride_near_130ns(self):
+        latency = self.model.dependent_load_latency_ns(32 * MB, stride_bytes=16384)
+        assert 125 <= latency <= 140  # Figure 5's high plateau
+
+    def test_sub_line_stride_amortizes(self):
+        full = self.model.dependent_load_latency_ns(32 * MB, stride_bytes=64)
+        quarter = self.model.dependent_load_latency_ns(32 * MB, stride_bytes=16)
+        assert quarter < full / 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            self.model.dependent_load_latency_ns(0)
+        with pytest.raises(ValueError):
+            self.model.dependent_load_latency_ns(1024, stride_bytes=0)
+
+
+class TestCrossMachineShape:
+    """The Figure 4 crossovers between the three machines."""
+
+    def setup_method(self):
+        self.gs1280 = HierarchyLatencyModel(GS1280Config.build(1))
+        self.es45 = HierarchyLatencyModel(ES45Config.build(1))
+        self.gs320 = HierarchyLatencyModel(GS320Config.build(4))
+
+    def test_gs1280_wins_big_datasets(self):
+        # Paper: 3.8x lower at 32MB vs GS320.
+        ratio = self.gs320.dependent_load_latency_ns(
+            32 * MB
+        ) / self.gs1280.dependent_load_latency_ns(32 * MB)
+        assert 3.3 <= ratio <= 4.3
+
+    def test_older_machines_win_the_cache_window(self):
+        # 1.75MB < size < 16MB: served from 16MB off-chip caches there.
+        for size in (4 * MB, 8 * MB):
+            gs1280 = self.gs1280.dependent_load_latency_ns(size)
+            assert self.es45.dependent_load_latency_ns(size) < gs1280
+            assert self.gs320.dependent_load_latency_ns(size) < gs1280
+
+    def test_gs1280_wins_the_l2_window(self):
+        # 64KB..1.75MB: on-chip L2 vs off-chip caches.
+        for size in (256 * KB, 1 * MB):
+            gs1280 = self.gs1280.dependent_load_latency_ns(size)
+            assert gs1280 < self.es45.dependent_load_latency_ns(size)
+            assert gs1280 < self.gs320.dependent_load_latency_ns(size)
+
+    def test_es45_memory_faster_than_gs320(self):
+        assert self.es45.dependent_load_latency_ns(
+            64 * MB
+        ) < self.gs320.dependent_load_latency_ns(64 * MB)

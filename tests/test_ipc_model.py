@@ -1,0 +1,90 @@
+"""Analytic IPC model tests."""
+
+import pytest
+
+from repro.config import ES45Config, GS320Config, GS1280Config
+from repro.cpu import BenchmarkCharacter, IpcModel
+
+
+def char(**overrides):
+    base = dict(
+        name="synthetic",
+        suite="fp",
+        cpi_core=0.6,
+        l2_apki=20,
+        mpki_anchors={1.75: 20.0, 8.0: 10.0, 16.0: 5.0},
+        overlap=4.0,
+        writeback_fraction=0.3,
+        page_locality=0.7,
+    )
+    base.update(overrides)
+    return BenchmarkCharacter(**base)
+
+
+class TestMpkiInterpolation:
+    def test_clamps_below_and_above(self):
+        c = char()
+        assert c.mpki(0.5) == 20.0
+        assert c.mpki(64.0) == 5.0
+
+    def test_anchor_values_exact(self):
+        c = char()
+        assert c.mpki(1.75) == 20.0
+        assert c.mpki(8.0) == 10.0
+        assert c.mpki(16.0) == 5.0
+
+    def test_log_interpolation_monotone(self):
+        c = char()
+        values = [c.mpki(mb) for mb in (1.75, 2.5, 4.0, 6.0, 8.0, 12.0, 16.0)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestIpc:
+    def test_cache_resident_ipc_is_core_bound(self):
+        c = char(mpki_anchors={1.75: 0.0, 16.0: 0.0}, l2_apki=0)
+        result = IpcModel(GS1280Config.build(1)).evaluate(c)
+        assert result.ipc == pytest.approx(1 / 0.6)
+        assert result.memory_utilization == 0.0
+
+    def test_memory_bound_ipc_lower(self):
+        light = IpcModel(GS1280Config.build(1)).evaluate(
+            char(mpki_anchors={1.75: 1.0, 16.0: 1.0})
+        )
+        heavy = IpcModel(GS1280Config.build(1)).evaluate(
+            char(mpki_anchors={1.75: 50.0, 16.0: 50.0})
+        )
+        assert heavy.ipc < light.ipc
+        assert heavy.memory_utilization > light.memory_utilization
+
+    def test_overlap_capped_by_machine_mlp(self):
+        c = char(overlap=32.0, mpki_anchors={1.75: 30.0, 16.0: 30.0})
+        gs1280 = IpcModel(GS1280Config.build(1)).evaluate(c)  # mlp 16
+        gs320 = IpcModel(GS320Config.build(4)).evaluate(c)  # mlp 4
+        # GS320 pays both higher latency and lower overlap.
+        assert gs1280.ipc / gs320.ipc > 3.0
+
+    def test_bigger_cache_helps_fitting_workloads(self):
+        c = char(mpki_anchors={1.75: 25.0, 8.0: 0.5, 16.0: 0.2}, l2_apki=5)
+        gs1280 = IpcModel(GS1280Config.build(1)).evaluate(c)
+        es45 = IpcModel(ES45Config.build(1)).evaluate(c)
+        assert es45.ipc > gs1280.ipc  # the facerec effect
+
+    def test_bandwidth_share_degrades_rate_copies(self):
+        c = char(mpki_anchors={1.75: 40.0, 16.0: 40.0})
+        machine = GS320Config.build(4)
+        full = IpcModel(machine, bw_share_fraction=1.0).evaluate(c)
+        quarter = IpcModel(machine, bw_share_fraction=0.25).evaluate(c)
+        assert quarter.ipc < full.ipc
+
+    def test_page_locality_lowers_latency(self):
+        model = IpcModel(GS1280Config.build(1))
+        hot = model.memory_latency_ns(char(page_locality=1.0))
+        cold = model.memory_latency_ns(char(page_locality=0.0))
+        assert cold - hot == pytest.approx(
+            GS1280Config.build(1).memory.closed_page_extra_ns
+        )
+
+    def test_utilization_bounded(self):
+        c = char(mpki_anchors={1.75: 500.0, 16.0: 500.0})
+        result = IpcModel(GS1280Config.build(1)).evaluate(c)
+        assert 0.0 <= result.memory_utilization <= 1.0

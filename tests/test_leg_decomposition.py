@@ -1,0 +1,71 @@
+"""Latency leg-decomposition tests (the Section 3.4-style breakdown)."""
+
+import pytest
+
+from repro.systems import GS320System, GS1280System
+
+
+def read_with_legs(system, cpu, home, warm=True):
+    done = []
+
+    def cb(txn):
+        done.append(txn)
+        if warm and len(done) == 1:
+            system.agent(cpu).read(0, done.append, home=home)
+
+    system.agent(cpu).read(0, cb, home=home)
+    system.run()
+    return done[-1]
+
+
+class TestLegs:
+    def test_legs_sum_to_total_latency(self):
+        txn = read_with_legs(GS1280System(16), 0, 10)
+        legs = txn.legs_ns()
+        assert legs is not None
+        to_home, response, fill = legs
+        assert to_home + response + fill == pytest.approx(txn.latency_ns)
+
+    def test_local_read_has_no_network_response_leg(self):
+        txn = read_with_legs(GS1280System(4), 0, 0)
+        to_home, response, fill = txn.legs_ns()
+        assert response == 0.0  # data "arrives" the instant memory is done
+        assert fill == pytest.approx(8.0)
+
+    def test_remote_legs_are_asymmetric(self):
+        """The response (72 B) serializes longer than the request (16 B)."""
+        txn = read_with_legs(GS1280System(16), 0, 1)
+        to_home, response, _fill = txn.legs_ns()
+        # to_home includes launch + directory + memory (~75 ns more).
+        assert to_home > response
+        assert response > 30.0  # one hop with data serialization
+
+    def test_gs320_home_service_dominates(self):
+        txn = read_with_legs(GS320System(16), 0, 12)
+        to_home, response, _fill = txn.legs_ns()
+        # 330+ ns of switch + memory before the data even starts back.
+        assert to_home > 400.0
+
+    def test_dirty_read_legs_include_owner_probe(self):
+        system = GS1280System(16)
+        done = []
+        system.agent(8).read_mod(
+            64,
+            lambda _t: system.agent(0).read(64, done.append, home=4),
+            home=4,
+        )
+        system.run()
+        legs = done[0].legs_ns()
+        assert legs is not None
+        to_owner, response, _fill = legs
+        # The first leg spans requestor -> home -> owner probe.
+        assert to_owner > 60.0
+
+    def test_unstamped_transaction_returns_none(self):
+        from repro.coherence.messages import Transaction
+
+        txn = Transaction(
+            txn_id=1, op="RdBlk", address=0, home=0, started_at=0.0,
+            on_complete=lambda t: None,
+        )
+        assert txn.legs_ns() is None

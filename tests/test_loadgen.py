@@ -1,0 +1,96 @@
+"""Closed-loop load-generator tests."""
+
+import pytest
+
+from repro.cpu import LoadGenerator
+from repro.systems import GS1280System
+
+
+def make_gen(system, cpu=0, home=3, outstanding=2, op="read", think=0.0):
+    state = {"i": 0}
+
+    def pick():
+        state["i"] += 1
+        return state["i"] * 64, home
+
+    return LoadGenerator(
+        system.sim, system.agent(cpu), pick,
+        outstanding=outstanding, op=op, think_ns=think,
+    )
+
+
+class TestClosedLoop:
+    def test_keeps_outstanding_requests_in_flight(self):
+        system = GS1280System(4)
+        gen = make_gen(system, outstanding=4)
+        gen.start()
+        system.run(until_ns=100.0)
+        assert system.agent(0).outstanding() == 4
+
+    def test_measurement_window_excludes_warmup(self):
+        system = GS1280System(4)
+        gen = make_gen(system)
+        gen.start()
+        system.run(until_ns=2000.0)
+        warm_count = gen.stats.completed
+        assert warm_count == 0  # not measuring yet
+        gen.begin_measurement()
+        system.run(until_ns=6000.0)
+        gen.end_measurement()
+        assert gen.stats.completed > 0
+        assert gen.stats.window_ns == pytest.approx(4000.0)
+
+    def test_bandwidth_and_latency_stats(self):
+        system = GS1280System(4)
+        gen = make_gen(system, outstanding=1)
+        gen.start()
+        system.run(until_ns=1000.0)
+        gen.begin_measurement()
+        system.run(until_ns=11000.0)
+        gen.end_measurement()
+        latency = gen.stats.mean_latency_ns()
+        # One outstanding: bandwidth = 64B / latency.
+        assert gen.stats.bandwidth_gbps() == pytest.approx(
+            64 / latency, rel=0.1
+        )
+
+    def test_think_time_slows_issue_rate(self):
+        fast_sys = GS1280System(4)
+        slow_sys = GS1280System(4)
+        fast = make_gen(fast_sys, think=0.0)
+        slow = make_gen(slow_sys, think=500.0)
+        for gen, system in ((fast, fast_sys), (slow, slow_sys)):
+            gen.start()
+            gen.begin_measurement()
+            system.run(until_ns=10000.0)
+            gen.end_measurement()
+        assert slow.stats.completed < fast.stats.completed
+
+    def test_update_mode_issues_victim_writebacks(self):
+        system = GS1280System(4)
+        gen = make_gen(system, op="update")
+        gen.start()
+        system.run(until_ns=5000.0)
+        # Victims land in the home zbox as writes beyond the reads.
+        zbox = system.zboxes[3]
+        assert zbox.accesses_total > gen.stats.completed
+
+    def test_double_start_rejected(self):
+        system = GS1280System(4)
+        gen = make_gen(system)
+        gen.start()
+        with pytest.raises(RuntimeError):
+            gen.start()
+
+    def test_invalid_parameters(self):
+        system = GS1280System(4)
+        with pytest.raises(ValueError):
+            make_gen(system, outstanding=0)
+        with pytest.raises(ValueError):
+            make_gen(system, op="scan")
+
+    def test_empty_window_raises(self):
+        system = GS1280System(4)
+        gen = make_gen(system)
+        with pytest.raises(ValueError):
+            gen.stats.mean_latency_ns()

@@ -1,0 +1,71 @@
+"""Interconnect load-test workload tests (Figure 15 shapes)."""
+
+import pytest
+
+from repro.sim import RngFactory
+from repro.systems import GS320System, GS1280System
+from repro.workloads.loadtest import make_random_remote_picker, run_load_test
+
+FAST = dict(warmup_ns=2000.0, window_ns=5000.0)
+
+
+class TestPicker:
+    def test_never_picks_self(self):
+        pick = make_random_remote_picker(RngFactory(0), cpu=3, n_cpus=16)
+        for _ in range(2000):
+            address, node = pick()
+            assert node != 3
+            assert 0 <= node < 16
+            assert address % 64 == 0
+
+    def test_include_self_allows_self(self):
+        pick = make_random_remote_picker(
+            RngFactory(0), cpu=3, n_cpus=4, include_self=True
+        )
+        nodes = {pick()[1] for _ in range(500)}
+        assert 3 in nodes
+
+    def test_deterministic_per_seed(self):
+        a = make_random_remote_picker(RngFactory(7), 0, 16)
+        b = make_random_remote_picker(RngFactory(7), 0, 16)
+        assert [a() for _ in range(100)] == [b() for _ in range(100)]
+
+
+class TestCurves:
+    @pytest.fixture(scope="class")
+    def gs1280(self):
+        return run_load_test(
+            lambda: GS1280System(16), (1, 8, 30), label="GS1280/16P", **FAST
+        )
+
+    @pytest.fixture(scope="class")
+    def gs320(self):
+        return run_load_test(
+            lambda: GS320System(16), (1, 8, 30), label="GS320/16P", **FAST
+        )
+
+    def test_bandwidth_grows_with_outstanding(self, gs1280):
+        bws = gs1280.bandwidths_mbps()
+        assert bws[0] < bws[1] <= bws[2] * 1.1
+
+    def test_latency_grows_with_load(self, gs1280):
+        lats = gs1280.latencies_ns()
+        assert lats[0] < lats[-1]
+
+    def test_gs1280_resilient_vs_gs320(self, gs1280, gs320):
+        """The paper's central Figure 15 contrast."""
+        assert (
+            gs1280.saturation_bandwidth_mbps()
+            > 5 * gs320.saturation_bandwidth_mbps()
+        )
+        # GS320's latency blows up; GS1280's stays moderate.
+        assert gs320.latencies_ns()[-1] > 2500
+        assert gs1280.latencies_ns()[-1] < 1000
+
+    def test_zero_load_latency_matches_average_map(self, gs1280):
+        # One outstanding load ~= the Figure 13 average (minus local).
+        assert 170 <= gs1280.latencies_ns()[0] <= 260
+
+    def test_gs320_saturates_on_uplinks(self, gs320):
+        # ~8-10 GB/s is the model's QBB-uplink ceiling at 16P (4 QBBs).
+        assert gs320.saturation_bandwidth_mbps() < 12000

@@ -1,0 +1,81 @@
+"""NAS SP and Fluent application-model tests (Figures 19-22 claims)."""
+
+import pytest
+
+from repro.config import GS320Config, GS1280Config, SC45Config
+from repro.workloads.fluent import FluentModel
+from repro.workloads.nas import SpModel, sp_profile_phases
+
+
+class TestSpModel:
+    def setup_method(self):
+        self.gs1280 = SpModel(GS1280Config.build(32))
+        self.gs320 = SpModel(GS320Config.build(32))
+        self.sc45 = SpModel(SC45Config.build(32))
+
+    def test_gs1280_substantial_advantage(self):
+        """Figure 21: GS1280 well above both at 16P."""
+        g = self.gs1280.evaluate(16).mops
+        assert g / self.gs320.evaluate(16).mops > 2.5
+        assert g / self.sc45.evaluate(16).mops > 1.5
+
+    def test_sc45_beats_gs320(self):
+        assert self.sc45.evaluate(16).mops > self.gs320.evaluate(16).mops
+
+    def test_scaling_monotone(self):
+        mops = [self.gs1280.evaluate(n).mops for n in (1, 4, 16, 32)]
+        assert mops == sorted(mops)
+
+    def test_memory_fraction_dominates_on_gs320(self):
+        """The shared QBB memory is the GS320's bottleneck."""
+        assert self.gs320.evaluate(16).memory_fraction > 0.6
+        assert self.gs1280.evaluate(16).memory_fraction < 0.5
+
+    def test_zbox_utilization_moderate(self):
+        """Figure 22: ~26% on the GS1280 (we land nearby)."""
+        util = self.gs1280.zbox_utilization(16)
+        assert 0.10 <= util <= 0.35
+
+    def test_quadrics_hurts_cross_box_halos(self):
+        within_box = self.sc45.comm_ns(4)
+        across_boxes = self.sc45.comm_ns(16)
+        assert across_boxes > within_box
+
+    def test_memory_bytes_override(self):
+        light = SpModel(GS320Config.build(16), memory_bytes=1 << 20)
+        heavy = SpModel(GS320Config.build(16), memory_bytes=8 << 20)
+        assert light.evaluate(16).mops > heavy.evaluate(16).mops
+
+    def test_profile_phases_shape(self):
+        phases = sp_profile_phases()
+        assert len(phases) == 3  # memory, compute, exchange
+
+
+class TestFluentModel:
+    def setup_method(self):
+        self.gs1280 = FluentModel(GS1280Config.build(32))
+        self.gs320 = FluentModel(GS320Config.build(32))
+        self.sc45 = FluentModel(SC45Config.build(32))
+
+    def test_comparable_to_sc45(self):
+        """Figure 19 / Section 5.1: GS1280 ~= ES45/SC45 on Fluent."""
+        g = self.gs1280.evaluate(16).rating
+        s = self.sc45.evaluate(16).rating
+        assert 0.8 <= g / s <= 1.25
+
+    def test_older_cache_gives_per_cpu_edge(self):
+        assert self.sc45.per_cpu_speed() > self.gs1280.per_cpu_speed()
+
+    def test_gs320_falls_behind_at_scale(self):
+        ratio16 = self.gs1280.evaluate(16).rating / self.gs320.evaluate(16).rating
+        ratio1 = self.gs1280.evaluate(1).rating / self.gs320.evaluate(1).rating
+        assert ratio16 > ratio1  # the gap widens with CPU count
+
+    def test_rating_scale_calibration(self):
+        """~1000 at 16P on the GS1280 (Figure 19's axis)."""
+        assert self.gs1280.evaluate(16).rating == pytest.approx(1000, rel=0.15)
+
+    def test_parallel_efficiency_bounds(self):
+        for model in (self.gs1280, self.gs320, self.sc45):
+            for n in (1, 4, 16, 32):
+                assert 0.3 <= model.parallel_efficiency(n) <= 1.0

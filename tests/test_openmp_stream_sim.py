@@ -1,0 +1,94 @@
+"""OpenMP (SPEComp proxy) and event-driven STREAM tests."""
+
+import pytest
+
+from repro.config import ES45Config, GS320Config, GS1280Config
+from repro.systems import ES45System, GS320System, GS1280System
+from repro.workloads.openmp import (
+    OmpModel,
+    average_remote_extra_ns,
+    speccomp_score,
+)
+from repro.workloads.spec import benchmark
+from repro.workloads.stream import stream_bandwidth_gbps
+from repro.workloads.stream_sim import run_stream_sim
+
+
+class TestOmpModel:
+    def test_sharing_costs_something_everywhere(self):
+        swim = benchmark("swim").character
+        for machine in (GS1280Config.build(16), GS320Config.build(16)):
+            none = OmpModel(machine, 16, shared_fraction=0.0)
+            some = OmpModel(machine, 16, shared_fraction=0.3)
+            assert some.per_thread_performance(swim) < (
+                none.per_thread_performance(swim)
+            )
+
+    def test_gs320_pays_more_for_sharing(self):
+        """The master-QBB hot spot plus slow dirty reads: raising the
+        shared fraction widens the GS1280/GS320 gap."""
+        swim = benchmark("swim").character
+
+        def ratio(s):
+            g = OmpModel(GS1280Config.build(16), 16, s)
+            o = OmpModel(GS320Config.build(16), 16, s)
+            return g.throughput(swim) / o.throughput(swim)
+
+        assert ratio(0.3) > ratio(0.0)
+
+    def test_speccomp_ratio_in_paper_band(self):
+        """Figure 28: SPEComp2001 (16P) ~2.2x."""
+        ratio = speccomp_score(GS1280Config.build(16), 16) / speccomp_score(
+            GS320Config.build(16), 16
+        )
+        assert 1.6 <= ratio <= 2.6
+
+    def test_remote_extra_ordering(self):
+        """GS320's remote penalty dwarfs the GS1280's."""
+        gs1280 = average_remote_extra_ns(GS1280Config.build(16), 16)
+        gs320 = average_remote_extra_ns(GS320Config.build(16), 16)
+        es45 = average_remote_extra_ns(ES45Config.build(4), 4)
+        assert gs320 > 3 * gs1280
+        assert es45 < gs1280
+
+    def test_invalid_shared_fraction(self):
+        with pytest.raises(ValueError):
+            OmpModel(GS1280Config.build(4), 4, shared_fraction=1.5)
+
+
+class TestStreamSim:
+    """Event-driven STREAM cross-validates the analytic Figures 6/7."""
+
+    def test_gs1280_matches_analytic_per_cpu(self):
+        sim = run_stream_sim(lambda: GS1280System(4), active_cpus=1)
+        analytic = stream_bandwidth_gbps(GS1280Config.build(4), 1)
+        assert sim.bandwidth_gbps == pytest.approx(analytic, rel=0.15)
+
+    def test_gs1280_linear_scaling(self):
+        one = run_stream_sim(lambda: GS1280System(4), active_cpus=1)
+        four = run_stream_sim(lambda: GS1280System(4), active_cpus=4)
+        assert four.bandwidth_gbps == pytest.approx(
+            4 * one.bandwidth_gbps, rel=0.05
+        )
+
+    def test_gs320_sublinear_scaling(self):
+        one = run_stream_sim(lambda: GS320System(4), active_cpus=1)
+        four = run_stream_sim(lambda: GS320System(4), active_cpus=4)
+        assert four.bandwidth_gbps < 3 * one.bandwidth_gbps
+        analytic = stream_bandwidth_gbps(GS320Config.build(4), 4)
+        assert four.bandwidth_gbps == pytest.approx(analytic, rel=0.20)
+
+    def test_es45_shared_bus_ceiling(self):
+        four = run_stream_sim(lambda: ES45System(4), active_cpus=4)
+        analytic = stream_bandwidth_gbps(ES45Config.build(4), 4)
+        assert four.bandwidth_gbps == pytest.approx(analytic, rel=0.20)
+
+    def test_one_vs_four_contrast(self):
+        """Figure 7's headline in one assertion."""
+        gs1280 = run_stream_sim(lambda: GS1280System(4), active_cpus=4)
+        gs320 = run_stream_sim(lambda: GS320System(4), active_cpus=4)
+        assert gs1280.bandwidth_gbps > 6 * gs320.bandwidth_gbps
+
+    def test_active_cpu_validation(self):
+        with pytest.raises(ValueError):
+            run_stream_sim(lambda: GS1280System(4), active_cpus=5)

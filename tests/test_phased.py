@@ -1,0 +1,90 @@
+"""Bulk-synchronous phased-workload engine tests."""
+
+import pytest
+
+from repro.systems import GS1280System
+from repro.workloads.phased import (
+    ComputePhase,
+    ExchangePhase,
+    MemoryPhase,
+    PhasedRun,
+    grid_neighbors,
+)
+
+
+class TestGridNeighbors:
+    def test_4x4_has_four_neighbors(self):
+        for rank in range(16):
+            assert len(grid_neighbors(rank, 16)) == 4
+
+    def test_neighbors_symmetric(self):
+        for rank in range(16):
+            for nbr in grid_neighbors(rank, 16):
+                assert rank in grid_neighbors(nbr, 16)
+
+    def test_small_counts(self):
+        assert grid_neighbors(0, 1) == []
+        assert grid_neighbors(0, 2) == [1]
+
+
+class TestPhasedRun:
+    def test_compute_only_iteration_time(self):
+        system = GS1280System(4)
+        run = PhasedRun(system, [ComputePhase(1000.0)], iterations=3)
+        times = run.run()
+        assert len(times) == 3
+        assert all(t == pytest.approx(1000.0) for t in times)
+
+    def test_memory_phase_touches_local_zboxes_only(self):
+        system = GS1280System(4)
+        run = PhasedRun(
+            system, [MemoryPhase(total_bytes=16384, block_bytes=1024)],
+            iterations=1,
+        )
+        run.run()
+        for zbox in system.zboxes:
+            assert zbox.accesses_total == 16
+        assert all(l.packets_total == 0 for l in system.fabric.links())
+
+    def test_exchange_phase_uses_the_fabric(self):
+        system = GS1280System(4)
+        run = PhasedRun(
+            system, [ExchangePhase(bytes_per_neighbor=2048, block_bytes=1024)],
+            iterations=1,
+        )
+        run.run()
+        assert sum(l.packets_total for l in system.fabric.links()) > 0
+
+    def test_barrier_separates_phases(self):
+        """Memory traffic from iteration 2 cannot start before every
+        rank finished iteration 1's phases."""
+        system = GS1280System(4)
+        phases = [MemoryPhase(4096, 1024), ComputePhase(500.0)]
+        run = PhasedRun(system, phases, iterations=2)
+        times = run.run()
+        assert len(times) == 2
+        # Each iteration is at least the compute phase long.
+        assert all(t > 500.0 for t in times)
+
+    def test_mean_iteration_time(self):
+        system = GS1280System(4)
+        run = PhasedRun(system, [ComputePhase(700.0)], iterations=4)
+        run.run()
+        assert run.mean_iteration_ns == pytest.approx(700.0)
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedRun(GS1280System(4), [], 1)
+
+    def test_monitor_does_not_stall_the_run(self):
+        """Regression: the self-rescheduling Xmesh monitor must not keep
+        a phased run alive forever."""
+        from repro.xmesh import XmeshMonitor
+
+        system = GS1280System(4)
+        run = PhasedRun(system, [ComputePhase(3000.0)], iterations=2)
+        monitor = XmeshMonitor(system, interval_ns=500.0)
+        monitor.start()
+        times = run.run()
+        assert len(times) == 2
+        assert len(monitor.samples) >= 4

@@ -1,0 +1,66 @@
+"""Dependent-load workload tests, including the event-sim cross-check
+of the analytic Figure 4/5 curves."""
+
+import pytest
+
+from repro.cache import HierarchyLatencyModel
+from repro.config import GS1280Config
+from repro.systems import GS320System, GS1280System
+from repro.workloads.pointer_chase import (
+    FIG4_SIZES,
+    chase_on_system,
+    latency_curve,
+    stride_surface,
+)
+
+
+class TestAnalyticCurves:
+    def test_curve_covers_all_sizes(self):
+        curve = latency_curve(GS1280Config.build(1))
+        assert [size for size, _ in curve] == FIG4_SIZES
+
+    def test_surface_grid_complete(self):
+        surface = stride_surface(GS1280Config.build(1))
+        assert len(surface) == 7 * 7
+
+    def test_surface_monotone_in_stride_at_memory_sizes(self):
+        surface = stride_surface(GS1280Config.build(1))
+        big = sorted(
+            (stride, lat) for size, stride, lat in surface
+            if size == 16 << 20
+        )
+        values = [lat for _s, lat in big]
+        assert values == sorted(values)
+
+
+class TestEventSimCrossCheck:
+    """chase_on_system must land on the analytic memory plateau."""
+
+    def test_gs1280_memory_plateau(self):
+        simulated = chase_on_system(GS1280System(4), n_loads=150, stride=64)
+        analytic = HierarchyLatencyModel(
+            GS1280Config.build(4)
+        ).dependent_load_latency_ns(32 << 20, 64)
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_gs1280_closed_page_stride(self):
+        simulated = chase_on_system(
+            GS1280System(4), n_loads=150, stride=16384
+        )
+        analytic = HierarchyLatencyModel(
+            GS1280Config.build(4)
+        ).dependent_load_latency_ns(32 << 20, 16384)
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_gs320_memory_plateau(self):
+        system = GS320System(4)
+        simulated = chase_on_system(system, n_loads=120, stride=64)
+        analytic = HierarchyLatencyModel(
+            system.config
+        ).dependent_load_latency_ns(32 << 20, 64)
+        assert simulated == pytest.approx(analytic, rel=0.08)
+
+    def test_remote_chase_pays_hop_latency(self):
+        local = chase_on_system(GS1280System(16), n_loads=100)
+        remote = chase_on_system(GS1280System(16), n_loads=100, home=10)
+        assert remote > local + 100  # 4 hops each way on the 4x4

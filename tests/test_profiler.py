@@ -1,0 +1,96 @@
+"""Sampling-profiler tests."""
+
+import pytest
+
+from repro.cpu import LoadGenerator
+from repro.cpu.profiler import SampleProfile, SamplingProfiler
+from repro.systems import GS1280System
+
+
+def profile_workload(home, duration_ns=20000.0, outstanding=1, think=0.0):
+    system = GS1280System(16)
+    state = {"addr": 0}
+
+    def pick():
+        state["addr"] += 64
+        return state["addr"], home
+
+    gen = LoadGenerator(system.sim, system.agent(0), pick,
+                        outstanding=outstanding, think_ns=think)
+    profiler = SamplingProfiler(system.sim, system.agent(0))
+    gen.start()
+    profiler.start()
+    system.run(until_ns=duration_ns)
+    profiler.stop()
+    return profiler.profile
+
+
+class TestAttribution:
+    def test_local_workload_attributed_locally(self):
+        profile = profile_workload(home=0)
+        assert profile.fraction("memory-local") > 0.8
+        assert profile.fraction("memory-remote") < 0.1
+
+    def test_remote_workload_attributed_remotely(self):
+        profile = profile_workload(home=10)
+        assert profile.fraction("memory-remote") > 0.8
+
+    def test_think_time_shows_as_core(self):
+        busy = profile_workload(home=0, think=0.0)
+        idle = profile_workload(home=0, think=500.0)
+        assert idle.fraction("core") > busy.fraction("core") + 0.3
+
+    def test_sample_count_matches_duration(self):
+        profile = profile_workload(home=0, duration_ns=9700.0)
+        assert profile.total == pytest.approx(100, abs=2)
+
+
+class TestApi:
+    def test_report_renders(self):
+        profile = profile_workload(home=10, duration_ns=5000.0)
+        text = profile.report()
+        assert "memory-remote" in text and "%" in text
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            SampleProfile(period_ns=100.0).fraction("disk")
+
+    def test_start_stop_lifecycle(self):
+        system = GS1280System(4)
+        profiler = SamplingProfiler(system.sim, system.agent(0))
+        profiler.start()
+        with pytest.raises(RuntimeError):
+            profiler.start()
+        system.run(until_ns=1000.0)
+        profiler.stop()
+        count = profiler.profile.total
+        system.sim.schedule(5000.0, lambda: None)
+        system.run()
+        assert profiler.profile.total == count  # stopped means stopped
+
+    def test_invalid_period(self):
+        system = GS1280System(4)
+        with pytest.raises(ValueError):
+            SamplingProfiler(system.sim, system.agent(0), period_ns=0.0)
+
+    def test_profiling_is_non_intrusive(self):
+        """Identical workload timing with and without the profiler."""
+        def run(with_profiler):
+            system = GS1280System(4)
+            done = []
+            state = {"n": 0}
+
+            def on_complete(txn):
+                state["n"] += 1
+                if state["n"] < 50:
+                    system.agent(0).read(state["n"] * 64, on_complete, home=2)
+                else:
+                    done.append(system.sim.now)
+
+            if with_profiler:
+                SamplingProfiler(system.sim, system.agent(0)).start()
+            system.agent(0).read(0, on_complete, home=2)
+            system.run(until_ns=100000.0)
+            return done[0]
+
+        assert run(False) == run(True)

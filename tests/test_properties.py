@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: torus geometry, routing tables, caches, RDRAM pages, the
+directory protocol, striping maps, and the event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache
+from repro.coherence import CoherenceOp, Directory, LineState
+from repro.config import CacheConfig, TorusShape
+from repro.memory import RdramArray, StripedMap, module_partner
+from repro.memory.rdram import MemoryConfig
+from repro.network import TorusTopology
+from repro.network import geometry
+from repro.sim import Simulator
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+shapes = st.sampled_from(
+    [TorusShape(c, r) for c, r in ((2, 2), (4, 2), (4, 4), (8, 4), (8, 8))]
+)
+addresses = st.integers(min_value=0, max_value=2**30)
+
+
+# ---------------------------------------------------------------------------
+# geometry
+# ---------------------------------------------------------------------------
+@given(shapes, st.data())
+def test_torus_distance_is_a_metric(shape, data):
+    a = data.draw(st.integers(0, shape.n_nodes - 1))
+    b = data.draw(st.integers(0, shape.n_nodes - 1))
+    c = data.draw(st.integers(0, shape.n_nodes - 1))
+    dab = geometry.torus_distance(shape, a, b)
+    assert dab == geometry.torus_distance(shape, b, a)  # symmetry
+    assert (dab == 0) == (a == b)  # identity
+    assert dab <= geometry.torus_distance(shape, a, c) + geometry.torus_distance(
+        shape, c, b
+    )  # triangle inequality
+
+
+@given(shapes, st.data())
+def test_minimal_directions_always_make_progress(shape, data):
+    src = data.draw(st.integers(0, shape.n_nodes - 1))
+    dst = data.draw(st.integers(0, shape.n_nodes - 1))
+    if src == dst:
+        assert geometry.minimal_directions(shape, src, dst) == []
+        return
+    d = geometry.torus_distance(shape, src, dst)
+    hops = geometry.minimal_directions(shape, src, dst)
+    assert hops
+    for nxt in hops:
+        assert geometry.torus_distance(shape, nxt, dst) == d - 1
+
+
+@given(shapes)
+@settings(max_examples=20)
+def test_topology_distance_matches_geometry(shape):
+    topo = TorusTopology(shape)
+    for src in range(shape.n_nodes):
+        for dst in range(shape.n_nodes):
+            assert topo.distance(src, dst) == geometry.torus_distance(
+                shape, src, dst
+            )
+
+
+@given(shapes, st.data())
+def test_greedy_routing_terminates_at_destination(shape, data):
+    """Following any sequence of minimal next hops reaches dst in
+    exactly distance(src, dst) steps."""
+    topo = TorusTopology(shape)
+    src = data.draw(st.integers(0, shape.n_nodes - 1))
+    dst = data.draw(st.integers(0, shape.n_nodes - 1))
+    node, steps = src, 0
+    while node != dst:
+        hops = topo.minimal_next_hops(node, dst)
+        node = data.draw(st.sampled_from(hops))
+        steps += 1
+    assert steps == topo.distance(src, dst)
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(st.tuples(addresses, st.booleans()), min_size=1, max_size=300),
+    st.sampled_from([1, 2, 4]),
+)
+def test_cache_occupancy_never_exceeds_capacity(accesses, assoc):
+    cache = Cache(CacheConfig(4096, assoc, 64, 1.0, True))
+    capacity = 4096 // 64
+    for address, write in accesses:
+        cache.access(address, write)
+        assert cache.resident_lines() <= capacity
+    assert cache.hits + cache.misses == len(accesses)
+
+
+@given(st.lists(addresses, min_size=1, max_size=200))
+def test_cache_rereference_within_associativity_hits(history):
+    """Accessing the same address twice in a row always hits."""
+    cache = Cache(CacheConfig(4096, 2, 64, 1.0, True))
+    for address in history:
+        cache.access(address)
+        assert cache.access(address).hit
+
+
+# ---------------------------------------------------------------------------
+# RDRAM pages
+# ---------------------------------------------------------------------------
+@given(st.lists(addresses, min_size=1, max_size=300))
+def test_rdram_open_pages_bounded(history):
+    rdram = RdramArray(
+        MemoryConfig(12.3, 50.0, 48.0, max_open_pages=8, page_bytes=4096,
+                     channels=8, stream_efficiency=0.5)
+    )
+    for address in history:
+        latency = rdram.access_latency_ns(address)
+        assert latency in (50.0, 98.0)
+        assert rdram.open_page_count <= 8
+    assert rdram.hits + rdram.misses == len(history)
+
+
+# ---------------------------------------------------------------------------
+# directory protocol
+# ---------------------------------------------------------------------------
+ops = st.sampled_from([CoherenceOp.READ, CoherenceOp.READ_MOD, CoherenceOp.VICTIM])
+
+
+@given(st.lists(st.tuples(ops, st.integers(0, 3), st.integers(0, 7)),
+                min_size=1, max_size=200))
+def test_directory_invariants_hold_under_any_request_stream(stream):
+    """State invariants from Section 2: Exclusive has exactly one owner
+    and no sharers; Shared has sharers and no owner; Invalid has neither."""
+    directory = Directory(home=0)
+    for op, line, requestor in stream:
+        address = line * 64
+        actions = directory.handle(op, address, requestor)
+        entry = directory.entry(address)
+        if entry.state == LineState.EXCLUSIVE:
+            assert entry.owner is not None
+            assert not entry.sharers
+        elif entry.state == LineState.SHARED:
+            assert entry.owner is None
+            assert entry.sharers
+        else:
+            assert entry.owner is None and not entry.sharers
+        # A forward and a memory read never both serve one request.
+        assert not (actions.forward_to is not None and actions.read_memory)
+        # Invalidation count and ack count always agree.
+        assert len(actions.invalidate) == actions.acks_expected
+
+
+# ---------------------------------------------------------------------------
+# striping
+# ---------------------------------------------------------------------------
+@given(shapes, st.data())
+def test_striped_home_is_within_the_module_pair(shape, data):
+    striped = StripedMap(shape)
+    node = data.draw(st.integers(0, shape.n_nodes - 1))
+    address = data.draw(addresses)
+    home = striped.home(node, address)
+    assert home.node in (node, module_partner(shape, node))
+    assert home.controller in (0, 1)
+
+
+@given(shapes, st.data())
+def test_striping_is_consistent_across_the_pair(shape, data):
+    """Both CPUs of a pair must agree where each line lives."""
+    striped = StripedMap(shape)
+    node = data.draw(st.integers(0, shape.n_nodes - 1))
+    partner = module_partner(shape, node)
+    address = data.draw(addresses)
+    a = striped.home(node, address)
+    b = striped.home(partner, address)
+    assert (a.node, a.controller) == (b.node, b.controller)
+
+
+# ---------------------------------------------------------------------------
+# event kernel
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                max_size=200))
+def test_simulator_time_never_goes_backwards(delays):
+    sim = Simulator()
+    seen = []
+    for delay in delays:
+        sim.schedule(delay, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

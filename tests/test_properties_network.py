@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) over the network models: the flit
+router's delivery/credit invariants and the shuffle topologies' graph
+properties, under arbitrary traffic and shapes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TorusShape
+from repro.network import MessageClass, ShuffleTopology, TorusTopology
+from repro.network.detailed import DetailedTorusNetwork, FlitMessage
+
+small_shapes = st.sampled_from(
+    [TorusShape(c, r) for c, r in ((2, 2), (4, 2), (4, 4))]
+)
+msg_classes = st.sampled_from(
+    [MessageClass.REQUEST, MessageClass.FORWARD, MessageClass.RESPONSE]
+)
+
+
+@given(
+    small_shapes,
+    st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15), msg_classes),
+             min_size=1, max_size=40),
+    st.integers(1, 4),
+    st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_flit_network_always_delivers_everything(shape, traffic, buffers,
+                                                 adaptive):
+    """No combination of shape, traffic, buffer depth, and routing mode
+    may deadlock, lose, or duplicate a message."""
+    network = DetailedTorusNetwork(shape, buffer_flits=buffers,
+                                   adaptive=adaptive)
+    injected = []
+    for src, dst, cls in traffic:
+        src %= shape.n_nodes
+        dst %= shape.n_nodes
+        msg = FlitMessage(src, dst, cls)
+        network.inject(msg)
+        injected.append(msg)
+    network.run(max_cycles=60_000)
+    assert sorted(m.msg_id for m in network.delivered) == sorted(
+        m.msg_id for m in injected
+    )
+    assert network.credit_invariant_holds()
+
+
+@given(
+    small_shapes,
+    st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+             min_size=1, max_size=25),
+)
+@settings(max_examples=20, deadline=None)
+def test_flit_hop_counts_never_below_distance(shape, pairs):
+    network = DetailedTorusNetwork(shape)
+    msgs = []
+    for src, dst in pairs:
+        msg = FlitMessage(src % shape.n_nodes, dst % shape.n_nodes,
+                          MessageClass.REQUEST)
+        network.inject(msg)
+        msgs.append(msg)
+    network.run(max_cycles=60_000)
+    topo = TorusTopology(shape)
+    for msg in msgs:
+        assert msg.hops >= topo.distance(msg.src, msg.dst)
+
+
+@given(st.sampled_from([TorusShape(4, 2), TorusShape(8, 2), TorusShape(4, 4),
+                        TorusShape(8, 4)]))
+@settings(max_examples=10, deadline=None)
+def test_shuffle_never_worse_than_torus_on_graph_metrics(shape):
+    torus = TorusTopology(shape)
+    shuffled = ShuffleTopology(shape)
+    assert shuffled.average_distance() <= torus.average_distance()
+    assert shuffled.worst_distance() <= torus.worst_distance()
+    assert shuffled.bisection_width(shape) >= torus.bisection_width(shape)
+
+
+@given(st.sampled_from([TorusShape(4, 2), TorusShape(4, 4), TorusShape(8, 4)]),
+       st.data())
+@settings(max_examples=25, deadline=None)
+def test_shuffle_hop_policies_always_route(shape, data):
+    """Any shuffle-hop policy must still reach every destination."""
+    topo = ShuffleTopology(shape)
+    src = data.draw(st.integers(0, shape.n_nodes - 1))
+    dst = data.draw(st.integers(0, shape.n_nodes - 1))
+    policy = data.draw(st.sampled_from([None, 1, 2]))
+    node, steps = src, 0
+    while node != dst:
+        hops = topo.minimal_next_hops(node, dst, max_shuffle_hops=policy,
+                                      hops_taken=steps)
+        assert hops, (node, dst, policy)
+        node = data.draw(st.sampled_from(hops))
+        steps += 1
+        assert steps <= 4 * (shape.cols + shape.rows)  # no livelock
+
+
+@given(st.sampled_from([TorusShape(4, 4), TorusShape(8, 4)]), st.data())
+@settings(max_examples=20, deadline=None)
+def test_failed_link_routing_stays_complete(shape, data):
+    """After any single link failure, every pair still routes minimally
+    over the surviving graph."""
+    topo = TorusTopology(shape)
+    edges = topo.edges()
+    a, b, _cls, _sh = data.draw(st.sampled_from(edges))
+    try:
+        topo.fail_link(a, b)
+    except ValueError:
+        return  # disconnection (only possible on degenerate shapes)
+    src = data.draw(st.integers(0, shape.n_nodes - 1))
+    dst = data.draw(st.integers(0, shape.n_nodes - 1))
+    node, steps = src, 0
+    while node != dst:
+        hops = topo.minimal_next_hops(node, dst)
+        assert hops
+        node = hops[0]
+        steps += 1
+    assert steps == topo.distance(src, dst)

@@ -1,0 +1,90 @@
+"""RDRAM page-model tests."""
+
+import pytest
+
+from repro.config import GS1280Config
+from repro.memory import RdramArray
+
+
+def make_rdram():
+    return RdramArray(GS1280Config.build(4).memory)
+
+
+class TestPageState:
+    def test_first_access_is_closed_page(self):
+        rdram = make_rdram()
+        latency = rdram.access_latency_ns(0)
+        cfg = rdram.config
+        assert latency == cfg.open_page_ns + cfg.closed_page_extra_ns
+
+    def test_second_access_same_page_is_open(self):
+        rdram = make_rdram()
+        rdram.access_latency_ns(0)
+        assert rdram.access_latency_ns(64) == rdram.config.open_page_ns
+
+    def test_different_page_misses(self):
+        rdram = make_rdram()
+        rdram.access_latency_ns(0)
+        latency = rdram.access_latency_ns(rdram.config.page_bytes)
+        assert latency > rdram.config.open_page_ns
+
+    def test_capacity_eviction_lru(self):
+        rdram = make_rdram()
+        cap = rdram.config.max_open_pages
+        for page in range(cap + 1):
+            rdram.access_latency_ns(page * rdram.config.page_bytes)
+        # Page 0 was evicted (LRU); page 1 is still open.
+        assert rdram.access_latency_ns(0) > rdram.config.open_page_ns
+        assert rdram.open_page_count == cap
+
+    def test_touch_refreshes_lru(self):
+        rdram = make_rdram()
+        cap = rdram.config.max_open_pages
+        for page in range(cap):
+            rdram.access_latency_ns(page * rdram.config.page_bytes)
+        rdram.access_latency_ns(0)  # refresh page 0
+        rdram.access_latency_ns(cap * rdram.config.page_bytes)  # evicts page 1
+        assert rdram.access_latency_ns(0) == rdram.config.open_page_ns
+
+    def test_hit_rate_accounting(self):
+        rdram = make_rdram()
+        for i in range(64):
+            rdram.access_latency_ns(i * 64)  # one 4KB page
+        assert rdram.hits == 63 and rdram.misses == 1
+        assert rdram.hit_rate() == pytest.approx(63 / 64)
+        rdram.reset_stats()
+        assert rdram.hit_rate() == 0.0
+
+
+class TestStrideModel:
+    def test_line_stride_mostly_open(self):
+        rdram = make_rdram()
+        expected = rdram.expected_latency_for_stride(64)
+        cfg = rdram.config
+        assert expected == pytest.approx(
+            cfg.open_page_ns + cfg.closed_page_extra_ns * 64 / 4096
+        )
+
+    def test_page_stride_fully_closed(self):
+        rdram = make_rdram()
+        cfg = rdram.config
+        for stride in (4096, 16384):
+            assert rdram.expected_latency_for_stride(stride) == (
+                cfg.open_page_ns + cfg.closed_page_extra_ns
+            )
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            make_rdram().expected_latency_for_stride(0)
+
+    def test_analytic_matches_simulated_sweep(self):
+        """The closed form must agree with actually sweeping the array."""
+        rdram = make_rdram()
+        stride = 256
+        total = 0.0
+        n = 1024
+        for i in range(n):
+            total += rdram.access_latency_ns(i * stride)
+        simulated = total / n
+        analytic = rdram.expected_latency_for_stride(stride)
+        assert simulated == pytest.approx(analytic, rel=0.02)

@@ -1,0 +1,90 @@
+"""Failure injection: the adaptive torus routes around dead links.
+
+The 21364's table-driven routing (and its redundant fifth RDRAM
+channel) were designed for exactly this; the tests pull cables and
+check the machine still works, with bounded degradation.
+"""
+
+import pytest
+
+from repro.analysis.latency import warm_read_latency
+from repro.config import TorusShape
+from repro.network import TorusTopology
+from repro.systems import GS1280System
+from repro.workloads.loadtest import run_load_test
+
+
+class TestTopologyFailures:
+    def test_failed_link_removed_from_routing(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        topo.fail_link(0, 1)
+        assert all(n != 1 for n, _c, _s in topo.neighbors(0))
+        # 0 -> 1 now detours (no shared neighbor on a 4x4: 3 hops).
+        assert topo.distance(0, 1) == 3
+
+    def test_unknown_link_rejected(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        with pytest.raises(KeyError):
+            topo.fail_link(0, 5)  # not adjacent
+
+    def test_disconnection_detected(self):
+        topo = TorusTopology(TorusShape(2, 1))
+        with pytest.raises(ValueError):
+            topo.fail_link(0, 1)  # the only link
+
+    def test_many_failures_still_connected(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        topo.fail_link(0, 1)
+        topo.fail_link(5, 6)
+        topo.fail_link(10, 14)
+        for src in range(16):
+            for dst in range(16):
+                assert topo.distance(src, dst) >= 0
+
+    def test_minimal_hops_avoid_failed_link(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        topo.fail_link(0, 1)
+        for dst in range(1, 16):
+            node = 0
+            while node != dst:
+                hops = topo.minimal_next_hops(node, dst)
+                assert hops, f"stuck at {node} toward {dst}"
+                assert not (node == 0 and 1 in hops)
+                node = hops[0]
+
+
+class TestSystemWithFailures:
+    def test_reads_complete_around_the_failure(self):
+        latency = warm_read_latency(
+            lambda: GS1280System(16, failed_links=[(0, 1)]), home=1
+        )
+        healthy = warm_read_latency(lambda: GS1280System(16), home=1)
+        # The detour costs roughly one extra hop each way.
+        assert latency > healthy + 20
+        assert latency < healthy + 120
+
+    def test_unaffected_paths_keep_their_latency(self):
+        broken = warm_read_latency(
+            lambda: GS1280System(16, failed_links=[(0, 1)]), home=4
+        )
+        healthy = warm_read_latency(lambda: GS1280System(16), home=4)
+        assert broken == pytest.approx(healthy, abs=1.0)
+
+    def test_load_test_survives_a_dead_cable(self):
+        curve = run_load_test(
+            lambda: GS1280System(16, failed_links=[(0, 12)]),
+            outstanding_values=(8,),
+            warmup_ns=2000.0,
+            window_ns=5000.0,
+        )
+        healthy = run_load_test(
+            lambda: GS1280System(16),
+            outstanding_values=(8,),
+            warmup_ns=2000.0,
+            window_ns=5000.0,
+        )
+        degradation = 1 - (
+            curve.saturation_bandwidth_mbps()
+            / healthy.saturation_bandwidth_mbps()
+        )
+        assert degradation < 0.25  # graceful, not catastrophic

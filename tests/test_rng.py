@@ -1,0 +1,29 @@
+"""Deterministic RNG stream tests."""
+
+import numpy as np
+
+from repro.sim import RngFactory
+
+
+def test_same_name_and_key_reproduce():
+    a = RngFactory(42).stream("gups", 3)
+    b = RngFactory(42).stream("gups", 3)
+    assert np.array_equal(a.integers(0, 1000, 50), b.integers(0, 1000, 50))
+
+
+def test_different_keys_differ():
+    a = RngFactory(42).stream("gups", 0)
+    b = RngFactory(42).stream("gups", 1)
+    assert not np.array_equal(a.integers(0, 1000, 50), b.integers(0, 1000, 50))
+
+
+def test_different_names_differ():
+    a = RngFactory(42).stream("gups", 0)
+    b = RngFactory(42).stream("loadtest", 0)
+    assert not np.array_equal(a.integers(0, 1000, 50), b.integers(0, 1000, 50))
+
+
+def test_different_seeds_differ():
+    a = RngFactory(1).stream("x", 0)
+    b = RngFactory(2).stream("x", 0)
+    assert not np.array_equal(a.integers(0, 1000, 50), b.integers(0, 1000, 50))

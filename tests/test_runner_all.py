@@ -1,0 +1,53 @@
+"""Runner 'all' path and result-formatting edge cases."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, format_result
+from repro.experiments.runner import main
+
+
+class TestFormatResult:
+    def test_row_truncation(self):
+        result = ExperimentResult(
+            exp_id="x", title="t", headers=["a"], rows=[[i] for i in range(20)]
+        )
+        text = format_result(result, max_rows=5)
+        assert "15 more rows" in text
+
+    def test_mixed_value_formatting(self):
+        result = ExperimentResult(
+            exp_id="x", title="t",
+            headers=["s", "big", "small", "none"],
+            rows=[["label", 12345.6, 0.1234, None]],
+        )
+        text = format_result(result)
+        assert "12,346" in text
+        assert "0.123" in text
+        assert "None" in text
+
+    def test_extra_text_and_notes_included(self):
+        result = ExperimentResult(
+            exp_id="x", title="t", headers=["a"], rows=[[1]],
+            notes=["observation"], extra_text="MESH",
+        )
+        text = format_result(result)
+        assert "MESH" in text and "note: observation" in text
+
+
+class TestRunnerAll:
+    def test_all_runs_a_patched_registry(self, capsys, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "experiment_ids",
+                            lambda: ["fig07", "fig05"])
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "fig05" in out
+        assert "completed in" in out
+
+    def test_seed_forwarded(self, capsys):
+        assert main(["run", "fig07", "--seed", "3"]) == 0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,107 @@
+"""SC45 cluster model tests: boxes, Quadrics rails, MPI workloads."""
+
+import pytest
+
+from repro.systems import GS1280System, SC45System
+from repro.workloads.nas import SpModel, sp_profile_phases
+from repro.workloads.phased import ComputePhase, ExchangePhase, PhasedRun
+
+
+class TestClusterStructure:
+    def test_box_count(self):
+        assert SC45System(16).n_boxes == 4
+        assert SC45System(4).n_boxes == 1
+
+    def test_whole_boxes_required(self):
+        with pytest.raises(ValueError):
+            SC45System(6)
+
+    def test_in_box_coherent_read_works(self):
+        system = SC45System(8)
+        done = []
+        system.agent(5).read(0, done.append, home=6)  # both in box 1
+        system.run()
+        assert len(done) == 1
+        assert system.zboxes[1].accesses_total == 1
+
+    def test_cross_box_coherence_rejected(self):
+        system = SC45System(8)
+        system.agent(0).read(0, lambda t: None, home=5)  # box 0 -> box 1
+        with pytest.raises(RuntimeError, match="crosses SC45 boxes"):
+            system.run()
+
+    def test_each_box_has_its_own_memory(self):
+        system = SC45System(16)
+        done = []
+        for cpu in (0, 5, 10, 15):
+            system.agent(cpu).read(0, done.append, home=cpu)
+        system.run()
+        assert len(done) == 4
+        assert all(z.accesses_total == 1 for z in system.zboxes)
+
+
+class TestQuadrics:
+    def test_cross_box_mpi_latency(self):
+        system = SC45System(8)
+        arrived = []
+        system.mpi_send(0, 4, 1024, lambda: arrived.append(system.sim.now))
+        system.run()
+        # One-way latency ~5 us plus serialization at 0.32 GB/s.
+        assert arrived[0] >= 5000.0
+        assert arrived[0] < 12000.0
+
+    def test_in_box_mpi_is_fast_shared_memory(self):
+        system = SC45System(8)
+        times = {}
+        system.mpi_send(0, 1, 1024, lambda: times.__setitem__("in", system.sim.now))
+        system.run()
+        system2 = SC45System(8)
+        system2.mpi_send(0, 4, 1024,
+                         lambda: times.__setitem__("out", system2.sim.now))
+        system2.run()
+        assert times["in"] < times["out"] / 5
+
+    def test_rail_serialization_under_load(self):
+        system = SC45System(8)
+        arrived = []
+        for _ in range(10):
+            system.mpi_send(0, 4, 32 * 1024,
+                            lambda: arrived.append(system.sim.now))
+        system.run()
+        # 10 x 32 KB at 0.32 GB/s >= 1 ms of serialization on the rail.
+        assert arrived[-1] >= 10 * 32768 / 0.32
+
+    def test_same_box_rejected_on_rail(self):
+        system = SC45System(8)
+        with pytest.raises(ValueError):
+            system.quadrics.send(0, 0, 64, lambda: None)
+
+
+class TestMpiWorkloads:
+    def test_phased_run_uses_quadrics_across_boxes(self):
+        system = SC45System(16)
+        run = PhasedRun(
+            system,
+            [ExchangePhase(bytes_per_neighbor=8192)],
+            iterations=1,
+        )
+        run.run()
+        assert system.quadrics.messages_sent > 0
+
+    def test_sp_iteration_slower_than_gs1280(self):
+        """Event-driven cross-check of the analytic Figure 21 claim."""
+        phases = sp_profile_phases(scale=1 / 256)
+        gs1280 = PhasedRun(GS1280System(16), phases, iterations=1)
+        sc45 = PhasedRun(SC45System(16), phases, iterations=1)
+        t_gs1280 = gs1280.run()[0]
+        t_sc45 = sc45.run()[0]
+        assert t_sc45 > 1.2 * t_gs1280
+
+    def test_event_and_analytic_models_agree_on_direction(self):
+        from repro.config import GS1280Config, SC45Config
+
+        analytic = (
+            SpModel(SC45Config.build(16)).evaluate(16).iteration_ns
+            / SpModel(GS1280Config.build(16)).evaluate(16).iteration_ns
+        )
+        assert analytic > 1.2  # same direction as the event-driven run

@@ -1,0 +1,114 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30.0, order.append, "c")
+    sim.schedule(10.0, order.append, "a")
+    sim.schedule(20.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_simultaneous_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(5.0, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "on-boundary")
+    sim.schedule(10.000001, fired.append, "after")
+    sim.run(until=10.0)
+    assert fired == ["on-boundary"]
+    assert sim.now == 10.0
+    sim.run(until=50.0)
+    assert fired == ["on-boundary", "after"]
+    assert sim.now == 50.0  # clock advances to the window end
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 5:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(5.0, fired.append, "x")
+    sim.schedule(1.0, fired.append, "y")
+    event.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    count = []
+
+    def reschedule():
+        count.append(1)
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(0.0, reschedule)
+    sim.run(max_events=100)
+    assert len(count) == 100
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_reset_clears_state():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7

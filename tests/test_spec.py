@@ -1,0 +1,123 @@
+"""SPEC CPU2000 characterization-table tests (Figures 8-11 claims)."""
+
+import pytest
+
+from repro.config import ES45Config, GS320Config, GS1280Config
+from repro.cpu import IpcModel
+from repro.workloads.spec import (
+    ALL_BENCHMARKS,
+    SPECFP2000,
+    SPECINT2000,
+    benchmark,
+    ipc_table,
+    utilization_timeseries,
+)
+
+MACHINES = [GS1280Config.build(1), ES45Config.build(4), GS320Config.build(4)]
+
+
+class TestTables:
+    def test_suite_sizes(self):
+        assert len(SPECFP2000) == 14
+        assert len(SPECINT2000) == 12
+        assert len(ALL_BENCHMARKS) == 26
+
+    def test_names_unique(self):
+        names = [b.name for b in ALL_BENCHMARKS]
+        assert len(set(names)) == len(names)
+
+    def test_lookup(self):
+        assert benchmark("swim").suite == "fp"
+        assert benchmark("mcf").suite == "int"
+        with pytest.raises(KeyError):
+            benchmark("doom3")
+
+    def test_figure_order_preserved(self):
+        assert [b.name for b in SPECFP2000[:4]] == [
+            "wupwise", "swim", "mgrid", "applu",
+        ]
+
+
+class TestPaperClaims:
+    @pytest.fixture(scope="class")
+    def fp(self):
+        return {name: results for name, results in ipc_table(MACHINES, "fp")}
+
+    @pytest.fixture(scope="class")
+    def integer(self):
+        return {name: results for name, results in ipc_table(MACHINES, "int")}
+
+    def test_swim_ratios(self, fp):
+        """Section 3.3: swim 2.3x vs ES45, 4x vs GS320."""
+        gs1280, es45, gs320 = (r.ipc for r in fp["swim"])
+        assert 1.9 <= gs1280 / es45 <= 3.0
+        assert 3.2 <= gs1280 / gs320 <= 4.8
+
+    def test_facerec_loses_on_gs1280(self, fp):
+        """Section 3.3: facerec fits the 8MB+ caches, not the 1.75MB L2."""
+        gs1280, es45, gs320 = (r.ipc for r in fp["facerec"])
+        assert es45 > gs1280
+        assert gs320 > gs1280
+
+    def test_ammp_no_worse_on_older_machines(self, fp):
+        gs1280, es45, _gs320 = (r.ipc for r in fp["ammp"])
+        assert es45 >= gs1280 * 0.98
+
+    def test_swim_leads_utilization(self, fp):
+        utils = {name: results[0].memory_utilization for name, results in fp.items()}
+        assert max(utils, key=utils.get) == "swim"
+        assert utils["swim"] > 0.30  # paper: 53%
+
+    def test_utilization_groups(self, fp):
+        """Figure 10's grouping."""
+        utils = {n: r[0].memory_utilization_pct for n, r in fp.items()}
+        for name in ("applu", "lucas", "equake", "mgrid"):
+            assert 15 <= utils[name] <= 35, name
+        for name in ("fma3d", "art", "galgel"):
+            assert 7 <= utils[name] <= 20, name
+        for name in ("mesa", "sixtrack", "apsi"):
+            assert utils[name] < 7, name
+
+    def test_integers_roughly_machine_neutral(self, integer):
+        """Figure 9 / Section 7: SPECint parity (~1.1x)."""
+        for name, results in integer.items():
+            if name == "mcf":
+                continue  # the memory-bound outlier
+            ratio = results[0].ipc / results[2].ipc
+            assert 0.9 <= ratio <= 1.45, name
+
+    def test_integer_utilization_low(self, integer):
+        for name, results in integer.items():
+            assert results[0].memory_utilization_pct < 8, name
+
+    def test_mcf_is_the_integer_outlier(self, integer):
+        utils = {n: r[0].memory_utilization_pct for n, r in integer.items()}
+        assert max(utils, key=utils.get) == "mcf"
+
+
+class TestUtilizationTimeseries:
+    def test_length_and_bounds(self):
+        series = utilization_timeseries(benchmark("swim"), MACHINES[0], 64)
+        assert len(series) == 64
+        assert all(0.0 <= v <= 100.0 for v in series)
+
+    def test_deterministic(self):
+        a = utilization_timeseries(benchmark("mgrid"), MACHINES[0], 32)
+        b = utilization_timeseries(benchmark("mgrid"), MACHINES[0], 32)
+        assert a == b
+
+    def test_wave_pattern_oscillates(self):
+        series = utilization_timeseries(benchmark("mgrid"), MACHINES[0], 48)
+        assert max(series) > 1.2 * min(series)
+
+    def test_burst_pattern_spikes(self):
+        series = utilization_timeseries(benchmark("mcf"), MACHINES[0], 48)
+        mean = sum(series) / len(series)
+        assert max(series) > 1.8 * mean
+
+    def test_mean_tracks_ipc_model(self):
+        bench = benchmark("swim")
+        series = utilization_timeseries(bench, MACHINES[0], 64)
+        model = IpcModel(MACHINES[0]).evaluate(bench.character)
+        mean = sum(series) / len(series)
+        assert mean == pytest.approx(model.memory_utilization_pct, rel=0.25)

@@ -1,0 +1,79 @@
+"""STREAM bandwidth model tests (Figures 6/7 shapes)."""
+
+import pytest
+
+from repro.config import ES45Config, GS320Config, GS1280Config, SC45Config
+from repro.workloads.stream import (
+    single_cpu_bandwidth_gbps,
+    stream_bandwidth_gbps,
+    stream_scaling_curve,
+)
+
+
+class TestSingleCpu:
+    def test_gs1280_near_5_6_gbps(self):
+        bw = single_cpu_bandwidth_gbps(GS1280Config.build(1))
+        assert bw == pytest.approx(5.6, abs=0.3)
+
+    def test_es45_near_2_3_gbps(self):
+        bw = single_cpu_bandwidth_gbps(ES45Config.build(1))
+        assert bw == pytest.approx(2.3, abs=0.3)
+
+    def test_gs320_near_1_2_gbps(self):
+        bw = single_cpu_bandwidth_gbps(GS320Config.build(4))
+        assert bw == pytest.approx(1.2, abs=0.2)
+
+    def test_one_cpu_ratio_near_5x(self):
+        """Figure 28's memory-copy-bandwidth (1P) bar."""
+        ratio = single_cpu_bandwidth_gbps(
+            GS1280Config.build(1)
+        ) / single_cpu_bandwidth_gbps(GS320Config.build(4))
+        assert 4.0 <= ratio <= 6.0
+
+
+class TestScaling:
+    def test_gs1280_linear(self):
+        """Figure 7: each CPU brings its own Zboxes."""
+        m = GS1280Config.build(64)
+        one = stream_bandwidth_gbps(m, 1)
+        for n in (2, 4, 16, 64):
+            assert stream_bandwidth_gbps(m, n) == pytest.approx(n * one)
+
+    def test_es45_sublinear(self):
+        m = ES45Config.build(4)
+        one = stream_bandwidth_gbps(m, 1)
+        four = stream_bandwidth_gbps(m, 4)
+        assert four < 4 * one
+        assert four == pytest.approx(3.5, abs=0.2)
+
+    def test_gs320_plateaus_per_qbb(self):
+        m = GS320Config.build(32)
+        assert stream_bandwidth_gbps(m, 4) == stream_bandwidth_gbps(m, 3)
+        # A fifth CPU starts a new QBB and adds bandwidth again.
+        assert stream_bandwidth_gbps(m, 5) > stream_bandwidth_gbps(m, 4)
+
+    def test_32p_ratio_near_8x(self):
+        """Figure 28's memory-copy-bandwidth (32P) bar."""
+        gs1280 = stream_bandwidth_gbps(GS1280Config.build(32), 32)
+        gs320 = stream_bandwidth_gbps(GS320Config.build(32), 32)
+        assert 7.0 <= gs1280 / gs320 <= 10.0
+
+    def test_gs1280_64p_above_300_gbps(self):
+        """Figure 6's headline: ~350 GB/s at 64 CPUs."""
+        assert stream_bandwidth_gbps(GS1280Config.build(64), 64) > 300
+
+    def test_sc45_scales_per_box(self):
+        m = SC45Config.build(16)
+        assert stream_bandwidth_gbps(m, 8) == pytest.approx(
+            2 * stream_bandwidth_gbps(m, 4)
+        )
+
+    def test_curve_helper(self):
+        curve = stream_scaling_curve(GS1280Config.build(8), [1, 4, 8])
+        assert [n for n, _ in curve] == [1, 4, 8]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stream_bandwidth_gbps(GS1280Config.build(4), 0)
+        with pytest.raises(ValueError):
+            stream_bandwidth_gbps(GS1280Config.build(4), 4, kernel="fft")

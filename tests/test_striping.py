@@ -1,0 +1,68 @@
+"""Address-map and striping tests (Section 6 semantics)."""
+
+from repro.config import TorusShape, torus_shape_for
+from repro.memory import NodeLocalMap, StripedMap, module_partner
+
+
+class TestModulePartner:
+    def test_vertical_pairs(self):
+        shape = torus_shape_for(16)  # 4x4
+        assert module_partner(shape, 0) == 4
+        assert module_partner(shape, 4) == 0
+        assert module_partner(shape, 9) == 13
+        assert module_partner(shape, 13) == 9
+
+    def test_single_row_has_no_partner(self):
+        shape = TorusShape(2, 1)
+        assert module_partner(shape, 0) == 0
+
+    def test_partnership_is_symmetric(self):
+        shape = torus_shape_for(32)
+        for node in range(32):
+            assert module_partner(shape, module_partner(shape, node)) == node
+
+
+class TestNodeLocalMap:
+    def test_home_is_owner(self):
+        m = NodeLocalMap()
+        for node in (0, 5, 11):
+            assert m.home(node, 12345).node == node
+
+    def test_controllers_alternate_by_line(self):
+        m = NodeLocalMap()
+        assert m.home(0, 0).controller == 0
+        assert m.home(0, 64).controller == 1
+        assert m.home(0, 128).controller == 0
+
+
+class TestStripedMap:
+    def setup_method(self):
+        self.shape = torus_shape_for(16)
+        self.map = StripedMap(self.shape)
+
+    def test_four_line_interleave_order(self):
+        """CPU0/ctrl0, CPU0/ctrl1, CPU1/ctrl0, CPU1/ctrl1 (Section 6)."""
+        homes = [self.map.home(0, line * 64) for line in range(4)]
+        assert [(h.node, h.controller) for h in homes] == [
+            (0, 0), (0, 1), (4, 0), (4, 1),
+        ]
+
+    def test_half_the_lines_go_to_the_partner(self):
+        lines = 4096
+        remote = sum(
+            1 for line in range(lines)
+            if self.map.home(0, line * 64).node != 0
+        )
+        assert remote == lines // 2
+        assert self.map.remote_fraction(0) == 0.5
+
+    def test_pair_members_share_one_region(self):
+        """Both CPUs of a module pair resolve an address identically."""
+        for line in range(16):
+            a = self.map.home(0, line * 64)
+            b = self.map.home(4, line * 64)
+            assert (a.node, a.controller) == (b.node, b.controller)
+
+    def test_other_pairs_unaffected(self):
+        home = self.map.home(2, 0)
+        assert home.node in (2, 6)

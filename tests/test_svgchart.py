@@ -1,0 +1,84 @@
+"""SVG figure-renderer tests."""
+
+import pytest
+
+from repro.analysis.svgchart import CHART_SPECS, SvgChart, chart_from_result
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import main
+
+
+class TestSvgChart:
+    def test_basic_render_structure(self):
+        chart = SvgChart(title="t", xlabel="x", ylabel="y")
+        chart.add_series("a", [1, 2, 3], [10, 20, 15])
+        svg = chart.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") == 1
+        assert svg.count("<circle") == 3
+        assert ">t<" in svg and ">x<" in svg and ">y<" in svg
+
+    def test_multi_series_colors_differ(self):
+        chart = SvgChart()
+        chart.add_series("a", [1, 2], [1, 2])
+        chart.add_series("b", [1, 2], [2, 3])
+        svg = chart.render()
+        assert "#1f77b4" in svg and "#d62728" in svg
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            SvgChart().render()
+
+    def test_mismatched_series_rejected(self):
+        chart = SvgChart()
+        with pytest.raises(ValueError):
+            chart.add_series("a", [1, 2], [1])
+
+    def test_flat_series_does_not_crash(self):
+        chart = SvgChart()
+        chart.add_series("a", [5, 5], [7, 7])
+        assert "<polyline" in chart.render()
+
+    def test_log_x(self):
+        chart = SvgChart(log_x=True)
+        chart.add_series("a", [1, 10, 100, 1000], [1, 2, 3, 4])
+        assert "<svg" in chart.render()
+
+
+class TestChartFromResult:
+    def test_series_column_grouping(self):
+        result = run_experiment("fig14")  # cheap y-cols chart input? no:
+        # fig14 uses y-cols spec.
+        chart = chart_from_result(result)
+        svg = chart.render()
+        assert svg.count("<polyline") == 2  # GS1280 + GS320
+
+    def test_ycols_chart(self):
+        result = run_experiment("fig07")
+        with pytest.raises(KeyError):
+            chart_from_result(result)  # fig07 has no spec (bar chart)
+
+    def test_fig19_three_lines(self):
+        result = run_experiment("fig19")
+        svg = chart_from_result(result).render()
+        assert svg.count("<polyline") == 3
+
+    def test_all_specs_reference_real_columns(self):
+        """Every chart spec's columns must exist in its experiment."""
+        cheap = {"fig01", "fig06", "fig14", "fig19", "fig21"}
+        for exp_id in cheap & set(CHART_SPECS):
+            result = run_experiment(exp_id)
+            svg = chart_from_result(result).render()
+            assert "<polyline" in svg, exp_id
+
+
+class TestChartCli:
+    def test_chart_command_writes_svg(self, tmp_path, capsys):
+        out = tmp_path / "fig19.svg"
+        assert main(["chart", "fig19", "-o", str(out)]) == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_unchartable_experiment_fails_cleanly(self, tmp_path, capsys):
+        out = tmp_path / "x.svg"
+        assert main(["chart", "fig08", "-o", str(out)]) == 1
+        assert not out.exists()

@@ -1,0 +1,120 @@
+"""Topology construction and routing-table tests."""
+
+import pytest
+
+from repro.config import LinkClass, TorusShape
+from repro.network import ShuffleTopology, TorusTopology, build_gs1280_topology
+from repro.network import geometry
+
+
+class TestTorusTopology:
+    def test_degree_is_four_on_4x4(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        for node in range(16):
+            assert len(topo.neighbors(node)) == 4
+
+    def test_distances_match_closed_form(self):
+        shape = TorusShape(8, 4)
+        topo = TorusTopology(shape)
+        for src in range(32):
+            for dst in range(32):
+                assert topo.distance(src, dst) == geometry.torus_distance(
+                    shape, src, dst
+                )
+
+    def test_link_classes_fig13(self):
+        # Node 0's south neighbor is its module partner; east is
+        # backplane; wraps are cables (the Figure 13 latency spread).
+        shape = TorusShape(4, 4)
+        topo = TorusTopology(shape)
+        assert topo.link_class(0, 4) == LinkClass.MODULE
+        assert topo.link_class(0, 1) == LinkClass.BACKPLANE
+        assert topo.link_class(0, 3) == LinkClass.CABLE  # x wrap
+        assert topo.link_class(0, 12) == LinkClass.CABLE  # y wrap
+
+    def test_two_row_torus_collapses_redundant_vertical(self):
+        topo = TorusTopology(TorusShape(4, 2))
+        # degree 3: east, west, one module link.
+        assert len(topo.neighbors(0)) == 3
+        assert topo.link_class(0, 4) == LinkClass.MODULE
+
+    def test_minimal_next_hops_reduce_distance(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    assert topo.minimal_next_hops(src, dst) == []
+                    continue
+                for nxt in topo.minimal_next_hops(src, dst):
+                    assert topo.distance(nxt, dst) == topo.distance(src, dst) - 1
+
+    def test_average_and_worst_distance_4x4(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        assert topo.average_distance() == pytest.approx(2.0)
+        assert topo.worst_distance() == 4
+
+    def test_bisection_width(self):
+        assert TorusTopology(TorusShape(4, 4)).bisection_width(
+            TorusShape(4, 4)
+        ) == 8
+        assert TorusTopology(TorusShape(4, 2)).bisection_width(
+            TorusShape(4, 2)
+        ) == 4
+
+
+class TestShuffleTopology:
+    def test_8p_shuffle_structure(self):
+        # Figure 17: pair link + diagonal to the furthest column.
+        topo = ShuffleTopology(TorusShape(4, 2))
+        neighbors_of_0 = {n for n, _c, _s in topo.neighbors(0)}
+        assert neighbors_of_0 == {1, 3, 4, 6}  # E, W, pair, far-diagonal
+
+    def test_8p_shuffle_diameter_halves(self):
+        torus = TorusTopology(TorusShape(4, 2))
+        shuffled = ShuffleTopology(TorusShape(4, 2))
+        assert torus.worst_distance() == 3
+        assert shuffled.worst_distance() == 2
+
+    def test_shuffle_links_flagged(self):
+        topo = ShuffleTopology(TorusShape(4, 2))
+        assert topo.has_shuffle_links()
+        shuffle_edges = [e for e in topo.edges() if e[3]]
+        assert len(shuffle_edges) == 4  # one re-pointed link per column
+
+    def test_base_distance_ignores_shuffle_links(self):
+        topo = ShuffleTopology(TorusShape(4, 2))
+        # 0 -> 6 is 1 hop with the diagonal, 2+ hops without.
+        assert topo.distance(0, 6) == 1
+        assert topo.base_distance(0, 6) >= 2
+
+    def test_shuffle_hop_policy_restricts_late_use(self):
+        topo = ShuffleTopology(TorusShape(4, 2))
+        # After the first hop, shuffle links are excluded under the
+        # 1-hop policy: next hops must be base links.
+        hops = topo.minimal_next_hops(0, 6, max_shuffle_hops=1, hops_taken=1)
+        for nxt in hops:
+            cls_by_neighbor = {
+                n: shuffle for n, _c, shuffle in topo.neighbors(0)
+            }
+            assert cls_by_neighbor[nxt] is False
+
+    def test_tall_shuffle_is_connected_and_helps(self):
+        torus = TorusTopology(TorusShape(4, 4))
+        shuffled = ShuffleTopology(TorusShape(4, 4))
+        assert shuffled.average_distance() < torus.average_distance()
+        assert shuffled.worst_distance() < torus.worst_distance()
+
+    def test_odd_columns_rejected_for_two_rows(self):
+        with pytest.raises(ValueError):
+            ShuffleTopology(TorusShape(5, 2))
+
+
+class TestFactory:
+    def test_builds_both_variants(self):
+        assert isinstance(
+            build_gs1280_topology(TorusShape(4, 2)), TorusTopology
+        )
+        assert isinstance(
+            build_gs1280_topology(TorusShape(4, 2), shuffle=True),
+            ShuffleTopology,
+        )

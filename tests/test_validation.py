@@ -1,0 +1,37 @@
+"""The two fidelity layers must agree wherever they overlap."""
+
+import pytest
+
+from repro.analysis.validation import validation_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validation_report(fast=True)
+
+
+def test_report_covers_both_machines(report):
+    machines = {row.machine for row in report}
+    assert machines == {"GS1280", "GS320"}
+
+
+def test_report_covers_three_quantities(report):
+    quantities = {row.quantity for row in report}
+    assert len(quantities) == 3
+
+
+def test_latency_agreement_within_8pct(report):
+    for row in report:
+        if "latency" in row.quantity:
+            assert abs(row.error_pct) < 8.0, row
+
+
+def test_bandwidth_agreement_within_25pct(report):
+    for row in report:
+        if "STREAM" in row.quantity or "I/O" in row.quantity:
+            assert abs(row.error_pct) < 25.0, row
+
+
+def test_all_values_positive(report):
+    for row in report:
+        assert row.analytic > 0 and row.simulated > 0

@@ -1,0 +1,114 @@
+"""Xmesh monitor, renderer, and hot-spot detector tests."""
+
+import pytest
+
+from repro.config import TorusShape
+from repro.cpu import LoadGenerator
+from repro.sim import RngFactory
+from repro.systems import GS1280System
+from repro.workloads.hotspot import make_hotspot_picker
+from repro.workloads.loadtest import make_random_remote_picker
+from repro.xmesh import Direction, XmeshMonitor, render_mesh, render_timeseries
+
+
+def drive(system, picker_fn, duration_ns=6000.0, outstanding=4):
+    rng = RngFactory(0)
+    for cpu in range(system.n_cpus):
+        gen = LoadGenerator(
+            system.sim, system.agent(cpu),
+            pick=picker_fn(rng, cpu), outstanding=outstanding,
+        )
+        gen.start()
+    monitor = XmeshMonitor(system, interval_ns=1000.0)
+    monitor.start()
+    system.run(until_ns=duration_ns)
+    return monitor
+
+
+class TestMonitor:
+    def test_samples_collected_at_interval(self):
+        system = GS1280System(4)
+        monitor = XmeshMonitor(system, interval_ns=500.0)
+        monitor.start()
+        system.run(until_ns=2600.0)
+        assert len(monitor.samples) == 5
+
+    def test_idle_system_reads_zero(self):
+        system = GS1280System(4)
+        monitor = XmeshMonitor(system, interval_ns=500.0)
+        monitor.start()
+        system.run(until_ns=2000.0)
+        assert all(s.mean_zbox() == 0.0 for s in monitor.samples)
+        assert all(s.mean_links() == 0.0 for s in monitor.samples)
+
+    def test_uniform_traffic_loads_everything(self):
+        system = GS1280System(16)
+        monitor = drive(
+            system,
+            lambda rng, cpu: make_random_remote_picker(rng, cpu, 16),
+        )
+        means = monitor.mean_zbox_utilization()
+        assert all(m > 0.01 for m in means)
+        assert monitor.detect_hotspots() == []
+
+    def test_hotspot_detection(self):
+        system = GS1280System(16)
+        monitor = drive(
+            system,
+            lambda rng, cpu: make_hotspot_picker(
+                rng, cpu, system.address_map, 0
+            ),
+        )
+        assert monitor.detect_hotspots() == [0]
+
+    def test_direction_split_on_rectangular_torus(self):
+        system = GS1280System(32)  # 8x4: East/West is the long dimension
+        monitor = drive(
+            system,
+            lambda rng, cpu: make_random_remote_picker(rng, cpu, 32),
+            duration_ns=5000.0,
+        )
+        by_dir = monitor.mean_direction_utilization()
+        ew = by_dir[Direction.EAST] + by_dir[Direction.WEST]
+        ns = by_dir[Direction.NORTH] + by_dir[Direction.SOUTH]
+        assert ew > ns  # Figure 24's observation
+
+    def test_stop_halts_sampling(self):
+        system = GS1280System(4)
+        monitor = XmeshMonitor(system, interval_ns=500.0)
+        monitor.start()
+        system.run(until_ns=1100.0)
+        monitor.stop()
+        system.sim.schedule(5000.0, lambda: None)
+        system.run()
+        assert len(monitor.samples) == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            XmeshMonitor(GS1280System(4), interval_ns=0.0)
+
+    def test_no_samples_error(self):
+        monitor = XmeshMonitor(GS1280System(4))
+        with pytest.raises(ValueError):
+            monitor.mean_zbox_utilization()
+
+
+class TestRenderers:
+    def test_mesh_grid_shape(self):
+        text = render_mesh(TorusShape(4, 4), [0.1] * 16)
+        lines = text.splitlines()
+        assert len(lines) == 5  # title + 4 rows
+        assert lines[1].count("[") == 4
+
+    def test_hotspot_marker(self):
+        text = render_mesh(TorusShape(4, 4), [0.9] + [0.1] * 15, hotspots=[0])
+        assert "*" in text
+        assert "hot spots: [0]" in text
+
+    def test_mesh_validates_length(self):
+        with pytest.raises(ValueError):
+            render_mesh(TorusShape(4, 4), [0.1] * 15)
+
+    def test_timeseries_sparkline(self):
+        text = render_timeseries({"zbox": [1.0, 5.0, 2.0]}, title="t")
+        assert "zbox" in text and "peak" in text
