@@ -4,7 +4,13 @@ Usage::
 
     gs1280-repro list
     gs1280-repro run fig13 [--full] [--seed N]
-    gs1280-repro all [--full]
+    gs1280-repro all [--full] [--jobs N]
+    gs1280-repro export results.json [--full] [--jobs N]
+
+``--jobs N`` fans the experiments of ``all``/``export`` out over N
+worker processes.  Experiments are pure functions of their id, fidelity
+and seed, and results are merged back in id order, so the output (text
+or JSON) is identical to a serial run -- only faster.
 """
 
 from __future__ import annotations
@@ -12,11 +18,22 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from functools import partial
 
 from repro.experiments.base import format_result
 from repro.experiments.registry import experiment_ids, run_experiment
+from repro.parallel import parallel_map
 
 __all__ = ["main"]
+
+
+def _run_timed(exp_id: str, fast: bool, seed: int):
+    """Worker for the ``all`` fan-out: result plus its own wall time
+    (measured in the worker so parallel runs still report per-experiment
+    cost)."""
+    start = time.time()
+    result = run_experiment(exp_id, fast=fast, seed=seed)
+    return result, time.time() - start
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,10 +54,14 @@ def main(argv: list[str] | None = None) -> int:
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--full", action="store_true")
     all_p.add_argument("--seed", type=int, default=0)
+    all_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
     export_p = sub.add_parser("export", help="write all results to JSON")
     export_p.add_argument("path", help="output file (e.g. results.json)")
     export_p.add_argument("--full", action="store_true")
     export_p.add_argument("--seed", type=int, default=0)
+    export_p.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (default 1 = serial)")
     chart_p = sub.add_parser("chart", help="render one figure as SVG")
     chart_p.add_argument("exp_id")
     chart_p.add_argument("-o", "--out", required=True,
@@ -57,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.export import export_results
 
         document = export_results(args.path, fast=not args.full,
-                                  seed=args.seed)
+                                  seed=args.seed, jobs=args.jobs)
         print(f"wrote {len(document['experiments'])} experiments to "
               f"{args.path}")
         return 0
@@ -83,11 +104,13 @@ def main(argv: list[str] | None = None) -> int:
         print(result_to_json(result))
         return 0
     ids = [args.exp_id] if args.command == "run" else experiment_ids()
-    for exp_id in ids:
-        start = time.time()
-        result = run_experiment(exp_id, fast=not args.full, seed=args.seed)
+    jobs = getattr(args, "jobs", 1)
+    outcomes = parallel_map(
+        partial(_run_timed, fast=not args.full, seed=args.seed), ids, jobs
+    )
+    for exp_id, (result, elapsed) in zip(ids, outcomes):
         print(format_result(result))
-        print(f"  [{exp_id} completed in {time.time() - start:.1f}s]")
+        print(f"  [{exp_id} completed in {elapsed:.1f}s]")
         print()
     return 0
 

@@ -8,6 +8,7 @@ from repro.network.packet import PACKET_BYTES, MessageClass, Packet
 from repro.network.router import Router, RoutingPolicy
 from repro.network.topology import (
     ShuffleTopology,
+    SwitchTopology,
     Topology,
     TorusTopology,
     build_gs1280_topology,
@@ -24,6 +25,7 @@ __all__ = [
     "RoutingPolicy",
     "ShuffleTopology",
     "SwitchFabric",
+    "SwitchTopology",
     "Topology",
     "TorusFabric",
     "TorusTopology",

@@ -49,9 +49,11 @@ class Link:
         "class_priority",
         "_queues",
         "_queued_bytes",
+        "_queued_count",
         "_busy",
         "_seq",
         "_priority_streak",
+        "_wire_free_cb",
         "busy_until",
         "busy_ns_total",
         "bytes_total",
@@ -81,11 +83,17 @@ class Link:
         # class_priority=False collapses the virtual channels into one
         # FIFO -- the ablation knob showing why the 21364 splits them.
         self.class_priority = class_priority
-        self._queues: dict[int, deque] = {cls: deque() for cls in DRAIN_ORDER}
+        # Indexed by MessageClass value (small ints): a list beats a dict
+        # on the per-packet enqueue/drain path.
+        self._queues: list[deque] = [deque() for _ in range(len(DRAIN_ORDER))]
         self._queued_bytes = 0
+        self._queued_count = 0
         self._busy = False
         self._seq = 0
         self._priority_streak = 0
+        # Prebound so each transmission's schedule() skips bound-method
+        # creation.
+        self._wire_free_cb = self._wire_free
         self.busy_until = 0.0
         self.busy_ns_total = 0.0
         self.bytes_total = 0
@@ -95,11 +103,13 @@ class Link:
     def backlog_ns(self) -> float:
         """Estimated wait for a packet submitted now: queued bytes plus
         the remainder of the in-flight packet."""
-        remaining = max(0.0, self.busy_until - self.sim.now)
+        remaining = self.busy_until - self.sim.now
+        if remaining < 0.0:
+            remaining = 0.0
         return remaining + self._queued_bytes / self.bandwidth_gbps
 
     def queued_packets(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        return self._queued_count
 
     # -- transmission ----------------------------------------------------
     def submit(self, packet: Packet, on_arrival: Callable[[Packet], None]) -> None:
@@ -107,13 +117,15 @@ class Link:
         self._queues[packet.msg_class].append((self._seq, packet, on_arrival))
         self._seq += 1
         self._queued_bytes += packet.size_bytes
+        self._queued_count += 1
         if not self._busy:
             self._start_next()
 
-    def _pick_fifo(self):
-        """The oldest packet across every class (also the ablation mode)."""
+    def _pick_fifo(self, classes=DRAIN_ORDER):
+        """The oldest packet across ``classes`` (the full drain order by
+        default, which is also the ablation mode)."""
         best_cls = None
-        for cls in DRAIN_ORDER:
+        for cls in classes:
             queue = self._queues[cls]
             if queue and (best_cls is None or
                           queue[0][0] < self._queues[best_cls][0][0]):
@@ -131,12 +143,16 @@ class Link:
             queue = self._queues[cls]
             if not queue:
                 continue
-            lower_waiting = any(
-                self._queues[c] for c in DRAIN_ORDER[rank + 1:]
-            )
+            # Every queued packet in a class above this one was already
+            # seen empty, so anything beyond this queue is lower class.
+            lower_waiting = self._queued_count > len(queue)
             if lower_waiting and self._priority_streak >= 3:
+                # Serve the oldest packet among the *lower* classes: a
+                # whole-queue FIFO pick could hand the slot right back
+                # to this class (it often also holds the oldest packet),
+                # starving the aged lower class the guard exists for.
                 self._priority_streak = 0
-                return self._pick_fifo()
+                return self._pick_fifo(DRAIN_ORDER[rank + 1:])
             self._priority_streak = self._priority_streak + 1 if lower_waiting else 0
             return queue.popleft()
         return None
@@ -147,19 +163,22 @@ class Link:
             self._busy = False
             return
         _seq, packet, on_arrival = entry
+        sim = self.sim
+        size = packet.size_bytes
         self._busy = True
-        self._queued_bytes -= packet.size_bytes
-        ser_ns = packet.size_bytes / self.bandwidth_gbps  # GB/s == bytes/ns
-        self.busy_until = self.sim.now + ser_ns
+        self._queued_bytes -= size
+        self._queued_count -= 1
+        ser_ns = size / self.bandwidth_gbps  # GB/s == bytes/ns
+        self.busy_until = sim.now + ser_ns
         self.busy_ns_total += ser_ns
-        self.bytes_total += packet.size_bytes
+        self.bytes_total += size
         self.packets_total += 1
         # Head arrival: cut-through packets overlap serialization with the
         # wire flight; first-link packets are stored-and-forwarded.
         head_delay = self.wire_ns + (ser_ns if not packet.serialized else 0.0)
         packet.serialized = True
-        self.sim.schedule(head_delay, on_arrival, packet)
-        self.sim.schedule(ser_ns, self._wire_free)
+        sim.schedule(head_delay, on_arrival, packet)
+        sim.schedule(ser_ns, self._wire_free_cb)
 
     def _wire_free(self) -> None:
         self._busy = False

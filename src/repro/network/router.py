@@ -62,6 +62,11 @@ class Router:
         "route_slot_ns",
         "packets_routed",
         "packets_delivered",
+        "_link_cache",
+        "_routes_version",
+        "_pipeline_ns",
+        "_penalty_ns",
+        "_inject_cb",
     )
 
     def __init__(
@@ -86,6 +91,22 @@ class Router:
         self.route_slot_ns = route_slot_ns
         self.packets_routed = 0
         self.packets_delivered = 0
+        # dst -> tuple of (Link, receiver) candidates, one dict per
+        # shuffle_ok value (indexing a pair by the bool beats hashing a
+        # (dst, shuffle_ok) tuple on every packet).  Resolved lazily from
+        # the topology's precomputed next-hop tables and dropped whenever
+        # the topology rebuilds (fail_link bumps the version).
+        self._link_cache: tuple[
+            dict[int, tuple[tuple[Link, Callable[[Packet], None]], ...]],
+            dict[int, tuple[tuple[Link, Callable[[Packet], None]], ...]],
+        ] = ({}, {})
+        self._routes_version = topology.routes_version
+        # Per-packet scalars, hoisted out of the frozen config dataclass.
+        self._pipeline_ns = config.pipeline_ns
+        self._penalty_ns = config.congestion_penalty_ns_per_queued_packet
+        # Prebound so the per-packet schedule() call skips bound-method
+        # creation.
+        self._inject_cb = self._inject_on_link
 
     def attach_link(self, link: Link, receiver: Callable[[Packet], None]) -> None:
         """Register the outgoing ``link`` and the neighbor's receive
@@ -115,48 +136,84 @@ class Router:
     # ------------------------------------------------------------------
     def _forward(self, packet: Packet) -> None:
         self.packets_routed += 1
-        delay = self.config.pipeline_ns
+        delay = self._pipeline_ns
         # Routing-throughput limit: one decision per slot.
         now = self.sim.now
-        start = max(now, self._route_free_at)
+        free_at = self._route_free_at
+        start = free_at if free_at > now else now
         self._route_free_at = start + self.route_slot_ns
         delay += start - now
         # The adaptive output choice happens at the end of the pipeline,
         # when the VC backlogs it reads are current.
-        self.sim.schedule(delay, self._inject_on_link, packet)
+        self.sim.schedule(delay, self._inject_cb, packet)
 
     def _inject_on_link(self, packet: Packet) -> None:
-        link = self._choose_output(packet)
+        link, receiver = self._choose_output(packet)
         packet.hops += 1
         # Congestion-dependent arbitration overhead (VC contention and
         # global-arbiter conflicts grow with the queue it joins).
-        penalty = self.config.congestion_penalty_ns_per_queued_packet
-        queued = link.queued_packets()
+        penalty = self._penalty_ns
+        queued = link._queued_count
         if penalty and queued:
-            self.sim.schedule(
-                penalty * queued, link.submit, packet, self._receivers[link.dst]
-            )
+            self.sim.schedule(penalty * queued, link.submit, packet, receiver)
         else:
-            link.submit(packet, self._receivers[link.dst])
+            link.submit(packet, receiver)
 
-    def _choose_output(self, packet: Packet) -> Link:
-        candidates = self.topology.minimal_next_hops(
-            self.node,
-            packet.dst,
-            max_shuffle_hops=self.policy.max_shuffle_hops,
-            hops_taken=packet.hops,
+    def _choose_output(self, packet: Packet) -> tuple[Link, Callable[[Packet], None]]:
+        policy = self.policy
+        msh = policy.max_shuffle_hops
+        shuffle_ok = msh is None or packet.hops < msh
+        topology = self.topology
+        if not topology.route_cache_enabled:
+            return self._choose_output_uncached(packet, shuffle_ok)
+        if self._routes_version != topology.routes_version:
+            self._link_cache[0].clear()
+            self._link_cache[1].clear()
+            self._routes_version = topology.routes_version
+        cache = self._link_cache[shuffle_ok]
+        dst = packet.dst
+        links = cache.get(dst)
+        if links is None:
+            candidates = topology.next_hops(self.node, dst, shuffle_ok)
+            if not candidates:
+                raise RuntimeError(
+                    f"router {self.node}: no route toward {dst}"
+                )
+            out = self.out_links
+            recv = self._receivers
+            links = tuple((out[nxt], recv[nxt]) for nxt in candidates)
+            cache[dst] = links
+        if len(links) == 1 or not policy.adaptive:
+            return links[0]
+        best = None
+        best_key = None
+        for pair in links:
+            link = pair[0]
+            key2 = (link.backlog_ns(), link.dst)
+            if best_key is None or key2 < best_key:
+                best, best_key = pair, key2
+        return best
+
+    def _choose_output_uncached(
+        self, packet: Packet, shuffle_ok: bool
+    ) -> tuple[Link, Callable[[Packet], None]]:
+        """The pre-cache slow path, kept for apples-to-apples perf
+        comparison (``topology.route_cache_enabled = False``)."""
+        candidates = self.topology._minimal_next_hops_uncached(
+            self.node, packet.dst, shuffle_ok
         )
         if not candidates:
             raise RuntimeError(
                 f"router {self.node}: no route toward {packet.dst}"
             )
         if len(candidates) == 1 or not self.policy.adaptive:
-            return self.out_links[candidates[0]]
+            nxt = candidates[0]
+            return self.out_links[nxt], self._receivers[nxt]
         best = None
         best_key = None
         for nxt in candidates:
             link = self.out_links[nxt]
             key = (link.backlog_ns(), nxt)
             if best_key is None or key < best_key:
-                best, best_key = link, key
-        return best
+                best, best_key = nxt, key
+        return self.out_links[best], self._receivers[best]

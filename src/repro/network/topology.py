@@ -31,6 +31,7 @@ __all__ = [
     "Topology",
     "TorusTopology",
     "ShuffleTopology",
+    "SwitchTopology",
     "build_gs1280_topology",
 ]
 
@@ -52,6 +53,16 @@ class Topology:
         }
         self._dist: list[list[int]] = []
         self._dist_base: list[list[int]] = []
+        self._next: list[list[tuple[int, ...]]] = []
+        self._next_base: list[list[tuple[int, ...]]] = []
+        #: Bumped on every routing-table rebuild (construction and
+        #: :meth:`fail_link`); routers key their per-destination link
+        #: caches on it so a failed link invalidates them all at once.
+        self.routes_version: int = 0
+        #: When False, :meth:`minimal_next_hops` re-derives hop sets from
+        #: the BFS distance tables per call (the reference path, used by
+        #: the property tests and the perf harness's "before" side).
+        self.route_cache_enabled: bool = True
 
     # -- construction ---------------------------------------------------
     def _add_link(self, a: int, b: int, link_class: str, shuffle: bool = False):
@@ -71,6 +82,49 @@ class Topology:
             ]
         else:
             self._dist_base = self._dist
+        self._build_route_tables()
+
+    def _build_route_tables(self) -> None:
+        """Precompute per-(src, dst) minimal next-hop tuples.
+
+        Two variants mirror the two phases of shuffle routing: the
+        shuffle-eligible table (all links, shuffle distances) and the
+        base-restricted table (non-shuffle links, base distances).  The
+        shuffle table bakes in the fall-through to the base hops for the
+        (theoretical) case where no all-links neighbor reduces the
+        shuffle distance, so lookups never need a second probe.
+        """
+        n = self.n_nodes
+        dist, dist_base = self._dist, self._dist_base
+        nxt: list[list[tuple[int, ...]]] = []
+        nxt_base: list[list[tuple[int, ...]]] = []
+        for src in range(n):
+            adj_src = self._adj[src]
+            d_src, db_src = dist[src], dist_base[src]
+            row: list[tuple[int, ...]] = []
+            row_base: list[tuple[int, ...]] = []
+            for dst in range(n):
+                if src == dst:
+                    row.append(())
+                    row_base.append(())
+                    continue
+                target = d_src[dst] - 1
+                hops = tuple(
+                    nb for nb, _cls, _sh in adj_src if dist[nb][dst] == target
+                )
+                target_base = db_src[dst] - 1
+                hops_base = tuple(
+                    nb
+                    for nb, _cls, sh in adj_src
+                    if not sh and dist_base[nb][dst] == target_base
+                )
+                row.append(hops or hops_base)
+                row_base.append(hops_base)
+            nxt.append(row)
+            nxt_base.append(row_base)
+        self._next = nxt
+        self._next_base = nxt_base
+        self.routes_version += 1
 
     def _bfs(self, src: int, use_shuffle: bool) -> list[int]:
         dist = [-1] * self.n_nodes
@@ -121,6 +175,25 @@ class Topology:
         if src == dst:
             return []
         shuffle_ok = max_shuffle_hops is None or hops_taken < max_shuffle_hops
+        if self.route_cache_enabled:
+            return list(self.next_hops(src, dst, shuffle_ok))
+        return self._minimal_next_hops_uncached(src, dst, shuffle_ok)
+
+    def next_hops(self, src: int, dst: int, shuffle_ok: bool = True) -> tuple[int, ...]:
+        """Precomputed minimal next-hop tuple for ``src`` -> ``dst``.
+
+        The per-packet fast path: one table lookup, no allocation.  The
+        returned tuple is shared -- callers must not mutate-by-rebuild.
+        """
+        if shuffle_ok:
+            return self._next[src][dst]
+        return self._next_base[src][dst]
+
+    def _minimal_next_hops_uncached(
+        self, src: int, dst: int, shuffle_ok: bool
+    ) -> list[int]:
+        """Reference derivation straight from the BFS distance tables
+        (what :meth:`next_hops` precomputes)."""
         if shuffle_ok:
             target = self._dist[src][dst] - 1
             hops = [
@@ -147,6 +220,8 @@ class Topology:
         it disconnects the network.  The adaptive router then routes
         around the failure with no further configuration -- the
         resilience property the 21364's table-driven routing provides.
+        Rebuilding bumps :attr:`routes_version`, which explicitly
+        invalidates every router-side next-hop cache.
         """
         before = len(self._adj[a])
         self._adj[a] = [t for t in self._adj[a] if t[0] != b]
@@ -293,6 +368,42 @@ class ShuffleTopology(Topology):
                         cls = LinkClass.BACKPLANE
                     self._add_link(node, south, cls)
         self._finalize()
+
+
+class SwitchTopology(Topology):
+    """The GS320 hierarchy (CPU - QBB switch - global switch) as a graph.
+
+    Nodes ``0 .. n_cpus-1`` are CPU endpoints; each group of
+    ``cpus_per_group`` CPUs hangs off one QBB-switch node, and the QBB
+    switches meet at a single global-switch node (all SWITCH-class
+    links).  The event-driven GS320 model uses :class:`SwitchFabric`
+    (shared contended links) instead, but this graph view gives the
+    switch machines the same routing-table interface as the tori --
+    which is what the route-cache property tests and the analytic
+    distance metrics consume.
+    """
+
+    def __init__(self, n_cpus: int, cpus_per_group: int = 4) -> None:
+        if n_cpus < 1:
+            raise ValueError("switch topology needs at least one CPU")
+        if cpus_per_group < 1:
+            raise ValueError("cpus_per_group must be >= 1")
+        self.n_cpus = n_cpus
+        self.cpus_per_group = cpus_per_group
+        n_groups = (n_cpus + cpus_per_group - 1) // cpus_per_group
+        self.n_groups = n_groups
+        # CPUs, then one switch per group, then the global switch.
+        super().__init__(n_cpus + n_groups + 1)
+        global_switch = n_cpus + n_groups
+        for cpu in range(n_cpus):
+            self._add_link(cpu, n_cpus + cpu // cpus_per_group, LinkClass.SWITCH)
+        for g in range(n_groups):
+            self._add_link(n_cpus + g, global_switch, LinkClass.SWITCH)
+        self._finalize()
+
+    def switch_of(self, cpu: int) -> int:
+        """Graph node id of ``cpu``'s QBB switch."""
+        return self.n_cpus + cpu // self.cpus_per_group
 
 
 def build_gs1280_topology(shape: TorusShape, shuffle: bool = False) -> Topology:

@@ -12,11 +12,23 @@ Processes are expressed as plain callbacks; the component models keep
 their own state machines, which keeps the hot path free of generator
 overhead (this matters -- large load-test runs schedule millions of
 events).
+
+Two hot-path representations keep the per-event cost down:
+
+* The heap holds ``(time, seq, Event)`` tuples rather than the events
+  themselves, so every sift comparison is a C-level tuple compare
+  instead of a Python ``__lt__`` call (load tests spend millions of
+  comparisons per run).
+* Zero-delay callbacks bypass the heap entirely and ride a FIFO deque;
+  the run loop merges the two sources by ``(time, seq)`` so observable
+  ordering is identical to an all-heap kernel.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -34,18 +46,29 @@ class Event:
     binary heap is O(n)) but are skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -54,7 +77,9 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
-        return f"<Event t={self.time:.3f}ns {self.fn.__name__} ({state})>"
+        # functools.partial and other callables lack __name__.
+        name = getattr(self.fn, "__name__", None) or repr(self.fn)
+        return f"<Event t={self.time:.3f}ns {name} ({state})>"
 
 
 class Simulator:
@@ -72,8 +97,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
+        # Zero-delay events: appended in seq order at non-decreasing
+        # ``now``, so the deque is always sorted by (time, seq).
+        self._immediate: deque[Event] = deque()
         self._seq: int = 0
+        self._cancelled: int = 0
         self._events_processed: int = 0
         self._running = False
 
@@ -82,11 +111,17 @@ class Simulator:
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now."""
-        if delay < 0:
+        seq = self._seq
+        if delay > 0.0:
+            time = self.now + delay
+            event = Event(time, seq, fn, args, self)
+            _heappush(self._queue, (time, seq, event))
+        elif delay == 0.0:
+            event = Event(self.now, seq, fn, args, self)
+            self._immediate.append(event)
+        else:
             raise SimulationError(f"negative delay {delay!r}")
-        event = Event(self.now + delay, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._seq = seq + 1
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -100,21 +135,40 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _peek(self) -> tuple[Event, bool] | None:
+        """Next live event and whether it sits on the immediate deque
+        (cancelled heads are discarded as a side effect)."""
+        imm = self._immediate
+        queue = self._queue
+        while imm and imm[0].cancelled:
+            imm.popleft()
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        ie = imm[0] if imm else None
+        he = queue[0] if queue else None
+        if ie is None:
+            return (he[2], False) if he is not None else None
+        if he is None or (ie.time, ie.seq) <= (he[0], he[1]):
+            return (ie, True)
+        return (he[2], False)
+
     def step(self) -> bool:
         """Run the single earliest pending event.
 
         Returns ``False`` when the queue is exhausted.
         """
-        queue = self._queue
-        while queue:
-            event = heapq.heappop(queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        head = self._peek()
+        if head is None:
+            return False
+        event, from_immediate = head
+        if from_immediate:
+            self._immediate.popleft()
+        else:
+            heapq.heappop(self._queue)
+        self.now = event.time
+        self._events_processed += 1
+        event.fn(*event.args)
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -123,31 +177,72 @@ class Simulator:
         ``until`` is inclusive: an event stamped exactly ``until`` still
         fires.  When the run stops on ``until``, ``now`` is advanced to
         ``until`` so that measurement windows have exact lengths.
+
+        When both limits are given and ``max_events`` trips first, the
+        clamp stays consistent: if every pending event inside the window
+        has already fired (the next event, if any, lies beyond
+        ``until``), the window completed and ``now`` advances to
+        ``until`` exactly as an ``until``-stop would; otherwise events
+        inside the window remain unprocessed, the window is genuinely
+        incomplete, and ``now`` stays at the last processed event so the
+        caller can observe the truncation.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         processed = 0
+        counting = max_events is not None
+        imm = self._immediate
         queue = self._queue
+        pop = _heappop
         try:
-            while queue:
-                if max_events is not None and processed >= max_events:
+            while True:
+                # Inlined _peek(): this loop is the simulator's hottest
+                # code; one extra function call per event is measurable.
+                while imm and imm[0].cancelled:
+                    imm.popleft()
+                while queue and queue[0][2].cancelled:
+                    pop(queue)
+                if imm:
+                    event = imm[0]
+                    etime = event.time
+                    from_immediate = True
+                    if queue:
+                        head = queue[0]
+                        head_time = head[0]
+                        if head_time < etime or (
+                            head_time == etime and head[1] < event.seq
+                        ):
+                            event = head[2]
+                            etime = head_time
+                            from_immediate = False
+                elif queue:
+                    head = queue[0]
+                    event = head[2]
+                    etime = head[0]
+                    from_immediate = False
+                else:
+                    break
+                if counting and processed >= max_events:
+                    if until is not None and etime > until and until > self.now:
+                        self.now = until
                     return
-                event = queue[0]
-                if event.cancelled:
-                    heapq.heappop(queue)
-                    continue
-                if until is not None and event.time > until:
+                if until is not None and etime > until:
                     self.now = until
                     return
-                heapq.heappop(queue)
-                self.now = event.time
-                self._events_processed += 1
-                event.fn(*event.args)
+                if from_immediate:
+                    imm.popleft()
+                else:
+                    pop(queue)
+                self.now = etime
                 processed += 1
+                event.fn(*event.args)
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            # The processed counter is batched per run() call rather than
+            # updated per event -- nothing in the models reads it mid-run.
+            self._events_processed += processed
             self._running = False
 
     # ------------------------------------------------------------------
@@ -155,8 +250,10 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1): derived
+        from the scheduled / fired / cancelled counters, so the schedule
+        hot path never maintains a separate tally)."""
+        return self._seq - self._events_processed - self._cancelled
 
     @property
     def events_processed(self) -> int:
@@ -166,6 +263,8 @@ class Simulator:
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         self._queue.clear()
+        self._immediate.clear()
         self.now = 0.0
         self._seq = 0
+        self._cancelled = 0
         self._events_processed = 0

@@ -1,0 +1,238 @@
+"""Regression tests for the hot-path/parallel-runner PR: kernel clamp
+and repr fixes, link anti-starvation, route-table/BFS equivalence, the
+Read-Dirty small-machine fix, and parallel==serial determinism."""
+
+import functools
+import json
+
+import pytest
+
+from repro.analysis.latency import (
+    average_read_dirty_latency,
+    latency_map,
+)
+from repro.config import LinkClass, TorusShape
+from repro.network import (
+    Link,
+    MessageClass,
+    Packet,
+    ShuffleTopology,
+    SwitchTopology,
+    TorusTopology,
+)
+from repro.parallel import parallel_map
+from repro.sim import Simulator
+from repro.systems import GS1280System
+
+
+# ----------------------------------------------------------------------
+# Simulator.run(until=..., max_events=...) clamp
+# ----------------------------------------------------------------------
+class TestMaxEventsClamp:
+    def test_window_complete_when_max_events_trips(self):
+        """max_events trips after the window is fully drained: ``now``
+        must still advance to ``until`` (the old kernel left it at the
+        last event, shrinking measurement windows)."""
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.schedule(100.0, lambda: None)  # beyond the window
+        sim.run(until=10.0, max_events=3)
+        assert sim.now == 10.0
+
+    def test_window_truncated_when_events_remain(self):
+        """max_events trips with live events still inside the window:
+        ``now`` stays at the last processed event so the caller can see
+        the truncation."""
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(t, lambda: None)
+        sim.run(until=10.0, max_events=2)
+        assert sim.now == 2.0
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_alone_unaffected(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run(max_events=2)
+        assert sim.now == 2.0
+
+
+# ----------------------------------------------------------------------
+# Event.__repr__ on callables without __name__
+# ----------------------------------------------------------------------
+def test_event_repr_handles_partial():
+    sim = Simulator()
+    sink = []
+    event = sim.schedule(1.0, functools.partial(sink.append, "x"))
+    text = repr(event)
+    assert "partial" in text and "pending" in text
+    event.cancel()
+    assert "cancelled" in repr(event)
+
+
+def test_event_repr_plain_function():
+    sim = Simulator()
+
+    def my_callback():
+        pass
+
+    assert "my_callback" in repr(sim.schedule(1.0, my_callback))
+
+
+# ----------------------------------------------------------------------
+# Link anti-starvation: the aged slot goes to the oldest *lower*-class
+# packet, not back to the priority class via a whole-queue FIFO pick.
+# ----------------------------------------------------------------------
+def test_aged_slot_serves_oldest_lower_class():
+    sim = Simulator()
+    link = Link(sim, 0, 1, 1.0, 0.0, LinkClass.MODULE)
+    order = []
+
+    def arrive(tag):
+        return lambda p: order.append(tag)
+
+    # R1 starts transmitting immediately; the rest queue behind it.
+    link.submit(Packet(0, 1, MessageClass.RESPONSE), arrive("R1"))
+    link.submit(Packet(0, 1, MessageClass.REQUEST), arrive("REQ"))
+    link.submit(Packet(0, 1, MessageClass.FORWARD), arrive("FWD"))
+    for i in range(6):
+        link.submit(Packet(0, 1, MessageClass.RESPONSE), arrive(f"R{i + 2}"))
+    sim.run()
+    # Three consecutive priority wins with lower traffic waiting, then
+    # the aged slot: REQ (older) beats FWD (higher class but younger).
+    assert order.index("REQ") < order.index("FWD")
+    assert order[:5] == ["R1", "R2", "R3", "R4", "REQ"]
+    assert set(order) == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "REQ", "FWD"}
+
+
+def test_priority_still_wins_without_streak():
+    """Absent a starvation streak, Responses drain strictly first."""
+    sim = Simulator()
+    link = Link(sim, 0, 1, 1.0, 0.0, LinkClass.MODULE)
+    order = []
+    link.submit(Packet(0, 1, MessageClass.REQUEST), lambda p: order.append("REQ"))
+    link.submit(Packet(0, 1, MessageClass.RESPONSE), lambda p: order.append("RSP"))
+    sim.run()
+    # REQ grabbed the idle wire; RSP outranks nothing queued after it.
+    assert order == ["REQ", "RSP"]
+
+
+# ----------------------------------------------------------------------
+# Precomputed route tables == fresh BFS, before and after fail_link
+# ----------------------------------------------------------------------
+def _assert_tables_match_bfs(topology):
+    for src in range(topology.n_nodes):
+        for dst in range(topology.n_nodes):
+            if src == dst:
+                continue
+            for shuffle_ok in (True, False):
+                cached = list(topology.next_hops(src, dst, shuffle_ok))
+                fresh = topology._minimal_next_hops_uncached(src, dst, shuffle_ok)
+                assert cached == fresh, (
+                    f"{type(topology).__name__} src={src} dst={dst} "
+                    f"shuffle_ok={shuffle_ok}: {cached} != {fresh}"
+                )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: TorusTopology(TorusShape(4, 4)),
+        lambda: ShuffleTopology(TorusShape(4, 2)),
+        lambda: ShuffleTopology(TorusShape(4, 4)),
+        lambda: SwitchTopology(16),
+    ],
+    ids=["torus4x4", "shuffle4x2", "shuffle4x4", "switch16"],
+)
+def test_route_tables_match_fresh_bfs(factory):
+    topology = factory()
+    _assert_tables_match_bfs(topology)
+
+
+def test_route_tables_rebuilt_after_fail_link():
+    topology = TorusTopology(TorusShape(4, 4))
+    version = topology.routes_version
+    topology.fail_link(0, 1)
+    assert topology.routes_version > version
+    _assert_tables_match_bfs(topology)
+
+
+def test_minimal_next_hops_matches_uncached_mode():
+    cached = TorusTopology(TorusShape(4, 4))
+    uncached = TorusTopology(TorusShape(4, 4))
+    uncached.route_cache_enabled = False
+    for src in range(16):
+        for dst in range(16):
+            if src != dst:
+                assert cached.minimal_next_hops(src, dst) == \
+                    uncached.minimal_next_hops(src, dst)
+
+
+# ----------------------------------------------------------------------
+# average_read_dirty_latency on small machines
+# ----------------------------------------------------------------------
+def test_read_dirty_small_machine_no_zero_division():
+    # On a 4-node machine the first two stride probes both collide with
+    # node 0; the old code dropped them and divided by zero.
+    value = average_read_dirty_latency(lambda: GS1280System(4), 4, samples=2)
+    assert value > 0.0
+
+
+def test_read_dirty_rejects_tiny_machines():
+    with pytest.raises(ValueError):
+        average_read_dirty_latency(lambda: GS1280System(2), 2)
+
+
+def test_read_dirty_16p_unchanged_by_redraw():
+    """The re-draw fix must not disturb machines where every probe was
+    already valid (the calibrated 16P numbers)."""
+    from repro.analysis.latency import _spread_read_dirty_pairs
+
+    pairs = _spread_read_dirty_pairs(16, 12)
+    expected = []
+    for i in range(12):
+        owner, home = (3 + 5 * i) % 16, (7 + 3 * i) % 16
+        if owner in (0, home) or home == 0:
+            owner, home = (owner + 1) % 16, (home + 2) % 16
+        expected.append((owner, home))
+    assert pairs == expected
+
+
+# ----------------------------------------------------------------------
+# Parallel fan-out determinism
+# ----------------------------------------------------------------------
+def test_parallel_map_preserves_order():
+    assert parallel_map(_square, list(range(20)), jobs=4) == \
+        [n * n for n in range(20)]
+
+
+def test_parallel_map_falls_back_on_unpicklable():
+    captured = []
+    fn = lambda x: captured.append(x) or x  # noqa: E731 - deliberately unpicklable
+    assert parallel_map(fn, [1, 2, 3], jobs=4) == [1, 2, 3]
+    assert captured == [1, 2, 3]  # ran in-process
+
+
+def _square(n):
+    return n * n
+
+
+def test_latency_map_parallel_equals_serial():
+    factory = functools.partial(GS1280System, 8)
+    assert latency_map(factory, 8, jobs=4) == latency_map(factory, 8)
+
+
+def test_export_parallel_equals_serial(tmp_path):
+    from repro.experiments.export import export_results
+    from repro.experiments.registry import experiment_ids
+
+    ids = experiment_ids()[:3]
+    serial = tmp_path / "serial.json"
+    fanout = tmp_path / "fanout.json"
+    export_results(serial, ids=ids, jobs=1)
+    export_results(fanout, ids=ids, jobs=4)
+    assert serial.read_bytes() == fanout.read_bytes()
+    assert set(json.loads(serial.read_text())["experiments"]) == set(ids)
