@@ -156,8 +156,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="report path (default BENCH_PR1.json)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="measurements per side, best-of (default 3)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run under a live telemetry session (smoke "
+                             "check / overhead measurement; results must "
+                             "not change)")
     args = parser.parse_args(argv)
 
+    if args.telemetry:
+        from repro import telemetry
+
+        with telemetry.session() as sess:
+            rc = _dispatch(args)
+        print(f"telemetry: {len(sess.attached)} system(s) attached, "
+              f"{sess.tracer.recorded_total:,} trace records "
+              f"({sess.tracer.dropped:,} dropped)")
+        return rc
+    return _dispatch(args)
+
+
+def _dispatch(args) -> int:
     if args.quick:
         return quick_smoke()
 

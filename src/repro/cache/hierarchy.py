@@ -34,10 +34,20 @@ def _blend(size: float, knee: float, lo: float, hi: float, width: float = 0.6) -
 
 
 class HierarchyLatencyModel:
-    """Dependent-load latency for one machine's local hierarchy."""
+    """Dependent-load latency for one machine's local hierarchy.
 
-    def __init__(self, machine: MachineConfig) -> None:
+    Passing a telemetry ``registry`` counts model evaluations under
+    ``hierarchy.dependent_load_evals`` -- the analytic layers have no
+    simulator events, so an owned counter is their whole telemetry
+    surface.
+    """
+
+    def __init__(self, machine: MachineConfig, registry=None) -> None:
         self.machine = machine
+        self._evals = (
+            registry.counter("hierarchy.dependent_load_evals")
+            if registry is not None else None
+        )
 
     # -- plateau latencies -------------------------------------------------
     def l1_latency_ns(self) -> float:
@@ -68,6 +78,8 @@ class HierarchyLatencyModel:
             raise ValueError("dataset must be positive")
         if stride_bytes <= 0:
             raise ValueError("stride must be positive")
+        if self._evals is not None:
+            self._evals.value += 1
         m = self.machine
         line = m.l1.line_bytes
         l1 = self.l1_latency_ns()

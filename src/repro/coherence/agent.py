@@ -59,6 +59,10 @@ class CoherenceAgent:
         self.latency_sum_ns: dict[str, float] = {}
         self.latencies: list[float] = []
         self.record_latencies = False
+        # Telemetry: tracer handle plus per-transaction span ids; both
+        # stay None unless a telemetry session attached the system.
+        self._trace = None
+        self._txn_spans: dict[int, int] | None = None
         fabric.register_agent(node, self._on_packet)
 
     # ------------------------------------------------------------------
@@ -138,6 +142,11 @@ class CoherenceAgent:
             user_data=size_bytes,
         )
         self._txns[txn_id] = txn
+        tr = self._trace
+        if tr is not None:
+            self._txn_spans[txn_id] = tr.txn_begin(
+                self.node, op, address, self.sim.now
+            )
         # Miss detection + request launch.
         self.sim.schedule(self.machine.request_launch_ns, self._issue, txn)
         return txn
@@ -342,6 +351,11 @@ class CoherenceAgent:
 
     def _complete(self, txn: Transaction) -> None:
         txn.completed_at = self.sim.now
+        tr = self._trace
+        if tr is not None:
+            sid = self._txn_spans.pop(txn.txn_id, None)
+            if sid is not None:
+                tr.txn_end(self.node, txn.op, sid, self.sim.now)
         self.completed[txn.op] = self.completed.get(txn.op, 0) + 1
         self.latency_sum_ns[txn.op] = (
             self.latency_sum_ns.get(txn.op, 0.0) + txn.latency_ns
@@ -351,6 +365,12 @@ class CoherenceAgent:
         txn.on_complete(txn)
 
     # ------------------------------------------------------------------
+    def enable_trace(self, tracer) -> None:
+        """Record transaction lifecycle spans into ``tracer``."""
+        self._trace = tracer
+        if self._txn_spans is None:
+            self._txn_spans = {}
+
     def mean_latency_ns(self, op: str) -> float:
         n = self.completed.get(op, 0)
         if not n:

@@ -55,6 +55,7 @@ class Directory:
         self.requests_handled = 0
         self.forwards_sent = 0
         self.invalidations_sent = 0
+        self.victim_writebacks = 0
 
     def entry(self, address: int) -> DirectoryEntry:
         return self._lines.get(address, DirectoryEntry())
@@ -121,6 +122,7 @@ class Directory:
     def _handle_victim(
         self, entry: DirectoryEntry, address: int, requestor: int
     ) -> DirectoryActions:
+        self.victim_writebacks += 1
         if entry.state == LineState.EXCLUSIVE and entry.owner == requestor:
             entry.state = LineState.INVALID
             entry.owner = None

@@ -23,15 +23,23 @@ __all__ = ["LoadGenerator", "GeneratorStats"]
 
 
 class GeneratorStats:
-    """Measurement-window counters of one generator."""
+    """Measurement-window counters of one generator.
 
-    __slots__ = ("completed", "latency_sum_ns", "window_start_ns", "window_end_ns")
+    ``issued_total`` and ``completed_total`` are *cumulative* (never
+    reset by the measurement window) so the telemetry registry can
+    expose them as hardware-style probes.
+    """
+
+    __slots__ = ("completed", "latency_sum_ns", "window_start_ns",
+                 "window_end_ns", "issued_total", "completed_total")
 
     def __init__(self) -> None:
         self.completed = 0
         self.latency_sum_ns = 0.0
         self.window_start_ns = 0.0
         self.window_end_ns = 0.0
+        self.issued_total = 0
+        self.completed_total = 0
 
     @property
     def window_ns(self) -> float:
@@ -106,12 +114,14 @@ class LoadGenerator:
     # ------------------------------------------------------------------
     def _issue(self) -> None:
         address, home = self.pick()
+        self.stats.issued_total += 1
         if self.op == "read":
             self.agent.read(address, self._on_complete, home=home)
         else:
             self.agent.read_mod(address, self._on_complete, home=home)
 
     def _on_complete(self, txn: Transaction) -> None:
+        self.stats.completed_total += 1
         if self._measuring:
             self.stats.completed += 1
             self.stats.latency_sum_ns += txn.latency_ns

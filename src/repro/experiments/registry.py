@@ -82,4 +82,12 @@ def run_experiment(exp_id: str, fast: bool = True, seed: int = 0) -> ExperimentR
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {experiment_ids()}"
         ) from None
+    # Experiment-level counters live in the process-global registry so
+    # they survive the machines built inside; parallel_map carries each
+    # worker's delta of this registry back to the parent.
+    from repro.telemetry import global_registry
+
+    registry = global_registry()
+    registry.counter("experiments.runs").value += 1
+    registry.counter(f"experiments.{exp_id}.runs").value += 1
     return runner(fast=fast, seed=seed)

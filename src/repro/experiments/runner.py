@@ -4,6 +4,7 @@ Usage::
 
     gs1280-repro list
     gs1280-repro run fig13 [--full] [--seed N]
+    gs1280-repro trace fig15 [-o fig15.trace.json] [--counters-out c.json]
     gs1280-repro all [--full] [--jobs N]
     gs1280-repro export results.json [--full] [--jobs N]
 
@@ -11,6 +12,12 @@ Usage::
 worker processes.  Experiments are pure functions of their id, fidelity
 and seed, and results are merged back in id order, so the output (text
 or JSON) is identical to a serial run -- only faster.
+
+``trace`` (or ``run`` with ``--trace-out`` / ``--counters-out``) runs
+the experiment under a live telemetry session: every machine it builds
+is instrumented, and the packet/transaction trace exports as Chrome
+``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto) next to
+a full counter report.
 """
 
 from __future__ import annotations
@@ -36,6 +43,43 @@ def _run_timed(exp_id: str, fast: bool, seed: int):
     return result, time.time() - start
 
 
+def _run_traced(args) -> int:
+    """``trace <exp>`` and ``run --trace-out/--counters-out``: execute
+    one experiment under a live telemetry session and export."""
+    from repro import telemetry
+
+    if args.command == "trace":
+        trace_out = args.out or f"{args.exp_id}.trace.json"
+        interval = args.sample_interval_ns
+    else:
+        trace_out = args.trace_out
+        interval = 1000.0
+    counters_out = args.counters_out
+    with telemetry.session(trace=trace_out is not None,
+                           sample_interval_ns=interval) as sess:
+        start = time.time()
+        result = run_experiment(args.exp_id, fast=not args.full,
+                                seed=args.seed)
+        elapsed = time.time() - start
+        if getattr(args, "json", False):
+            from repro.experiments.export import result_to_json
+
+            print(result_to_json(result))
+        else:
+            print(format_result(result))
+            print(f"  [{args.exp_id} completed in {elapsed:.1f}s]")
+        if trace_out is not None:
+            document = sess.export_trace(trace_out)
+            print(f"  [trace: {len(document['traceEvents'])} events -> "
+                  f"{trace_out}]")
+        if counters_out is not None:
+            report = sess.export_counters(counters_out)
+            keys = sum(len(s["counters"]) for s in report["systems"])
+            print(f"  [counters: {keys} keys over "
+                  f"{len(report['systems'])} system(s) -> {counters_out}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="gs1280-repro",
@@ -51,6 +95,25 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--json", action="store_true",
                        help="emit JSON instead of the text table")
+    run_p.add_argument("--counters-out", metavar="PATH",
+                       help="run under telemetry; write the counter "
+                       "report JSON to PATH")
+    run_p.add_argument("--trace-out", metavar="PATH",
+                       help="run under telemetry; write the Chrome "
+                       "trace JSON to PATH")
+    trace_p = sub.add_parser(
+        "trace", help="run one experiment under telemetry and export "
+        "a Chrome trace")
+    trace_p.add_argument("exp_id", choices=experiment_ids())
+    trace_p.add_argument("-o", "--out", metavar="PATH",
+                         help="trace output (default <exp_id>.trace.json)")
+    trace_p.add_argument("--counters-out", metavar="PATH",
+                         help="also write the counter report JSON")
+    trace_p.add_argument("--full", action="store_true",
+                         help="full-fidelity run (slower)")
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("--sample-interval-ns", type=float, default=1000.0,
+                         help="interval-sampler cadence in simulated ns")
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--full", action="store_true")
     all_p.add_argument("--seed", type=int, default=0)
@@ -96,6 +159,10 @@ def main(argv: list[str] | None = None) -> int:
         Path(args.out).write_text(chart_from_result(result).render())
         print(f"wrote {args.out}")
         return 0
+    if args.command == "trace" or (
+        args.command == "run" and (args.counters_out or args.trace_out)
+    ):
+        return _run_traced(args)
     if args.command == "run" and args.json:
         from repro.experiments.export import result_to_json
 

@@ -39,6 +39,7 @@ class Zbox:
         "n_controllers",
         "rdrams",
         "_bus_free_at",
+        "_trace",
         "busy_ns_total",
         "bytes_total",
         "accesses_total",
@@ -54,6 +55,7 @@ class Zbox:
         self.n_controllers = n_controllers
         self.rdrams = [RdramArray(config) for _ in range(n_controllers)]
         self._bus_free_at = [0.0] * n_controllers
+        self._trace = None  # telemetry tracer; None on disabled runs
         self.busy_ns_total = 0.0
         self.bytes_total = 0
         self.accesses_total = 0
@@ -92,6 +94,9 @@ class Zbox:
         self.busy_ns_total += slot_ns
         self.bytes_total += size_bytes
         self.accesses_total += 1
+        tr = self._trace
+        if tr is not None:
+            tr.zbox_access(self.node, start, slot_ns, size_bytes, write)
         latency = self.rdrams[ctrl].access_latency_ns(address)
         # Blocks beyond one line stream their tail at the node rate
         # (both controllers interleave the remaining lines).

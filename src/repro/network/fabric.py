@@ -31,6 +31,9 @@ __all__ = ["FabricBase", "TorusFabric", "SwitchFabric"]
 class FabricBase:
     """Common interface: inject packets, register delivery agents."""
 
+    #: Telemetry tracer; stays None (class attribute) on disabled runs.
+    _trace = None
+
     def __init__(self, sim: Simulator, n_nodes: int) -> None:
         self.sim = sim
         self.n_nodes = n_nodes
@@ -40,6 +43,9 @@ class FabricBase:
         self._agents[node] = agent
 
     def deliver(self, packet: Packet) -> None:
+        tr = self._trace
+        if tr is not None:
+            tr.packet_delivered(packet, self.sim.now)
         agent = self._agents.get(packet.dst)
         if agent is None:
             raise RuntimeError(f"no agent registered at node {packet.dst}")
@@ -50,6 +56,28 @@ class FabricBase:
 
     def links(self) -> Iterable[Link]:
         raise NotImplementedError
+
+    # -- telemetry ------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Wire an :class:`~repro.telemetry.tracer.EventTracer` into the
+        fabric's delivery path (subclasses extend to routers/links)."""
+        self._trace = tracer
+        for link in self.links():
+            link._trace = tracer
+
+    def link_name(self, link: Link, index: int) -> str:
+        """Dotted counter-name prefix for one link.  Torus links belong
+        to their source node (``node3.link.7``); switch-style links with
+        virtual endpoints get ``switch.*`` names."""
+        if link.src >= 0 and link.dst >= 0 and link.src != link.dst:
+            return f"node{link.src}.link.{link.dst}"
+        if link.src >= 0 and link.src == link.dst:
+            return f"switch.local{link.src}"
+        if link.dst < 0:
+            return f"switch.up{link.src}"
+        if link.src < 0:
+            return f"switch.down{link.dst}"
+        return f"switch.link{index}"  # pragma: no cover - exhaustive above
 
 
 class TorusFabric(FabricBase):
@@ -97,6 +125,11 @@ class TorusFabric(FabricBase):
 
     def links_from(self, node: int) -> list[Link]:
         return [l for l in self._links if l.src == node]
+
+    def attach_tracer(self, tracer) -> None:
+        super().attach_tracer(tracer)
+        for router in self.routers:
+            router._trace = tracer
 
 
 class SwitchFabric(FabricBase):
@@ -149,6 +182,9 @@ class SwitchFabric(FabricBase):
 
     def inject(self, packet: Packet) -> None:
         packet.injected_at = self.sim.now
+        tr = self._trace
+        if tr is not None:
+            tr.packet_injected(packet, self.sim.now)
         src_g = self.group_of(packet.src)
         dst_g = self.group_of(packet.dst)
         if src_g == dst_g:
@@ -163,6 +199,9 @@ class SwitchFabric(FabricBase):
             return
         link = chain[index]
         packet.hops += 1
+        tr = self._trace
+        if tr is not None:
+            tr.packet_hop(packet, max(link.src, 0), self.sim.now)
         delay = self.congestion_penalty_ns * link.queued_packets()
 
         def arrived(pkt: Packet, _chain=chain, _next=index + 1) -> None:

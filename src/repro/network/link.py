@@ -54,6 +54,8 @@ class Link:
         "_seq",
         "_priority_streak",
         "_wire_free_cb",
+        "_trace",
+        "_stall_counters",
         "busy_until",
         "busy_ns_total",
         "bytes_total",
@@ -94,6 +96,10 @@ class Link:
         # Prebound so each transmission's schedule() skips bound-method
         # creation.
         self._wire_free_cb = self._wire_free
+        # Telemetry: both stay None/absent on disabled runs so the
+        # submit path pays one is-None check, nothing more.
+        self._trace = None
+        self._stall_counters: list | None = None
         self.busy_until = 0.0
         self.busy_ns_total = 0.0
         self.bytes_total = 0
@@ -118,6 +124,16 @@ class Link:
         self._seq += 1
         self._queued_bytes += packet.size_bytes
         self._queued_count += 1
+        sc = self._stall_counters
+        if sc is not None:
+            # Telemetry-enabled runs count VC allocation stalls: the
+            # wire (or an earlier packet) made this one wait.
+            if self._busy or self._queued_count > 1:
+                sc[packet.msg_class].value += 1
+            if self._trace is not None:
+                self._trace.packet_vc_enqueue(
+                    packet, self.src, self.sim.now, self._queued_count
+                )
         if not self._busy:
             self._start_next()
 

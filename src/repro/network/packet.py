@@ -60,6 +60,7 @@ class Packet:
         "injected_at",
         "hops",
         "serialized",
+        "span",
     )
 
     def __init__(
@@ -82,6 +83,8 @@ class Packet:
         self.injected_at: float = -1.0
         self.hops: int = 0
         self.serialized = False
+        # Telemetry lifecycle-span id; stays None unless a tracer is on.
+        self.span: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         name = MessageClass.NAMES.get(self.msg_class, "?")

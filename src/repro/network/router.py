@@ -67,6 +67,7 @@ class Router:
         "_pipeline_ns",
         "_penalty_ns",
         "_inject_cb",
+        "_trace",
     )
 
     def __init__(
@@ -107,6 +108,8 @@ class Router:
         # Prebound so the per-packet schedule() call skips bound-method
         # creation.
         self._inject_cb = self._inject_on_link
+        # Telemetry tracer; None unless a session attached this system.
+        self._trace = None
 
     def attach_link(self, link: Link, receiver: Callable[[Packet], None]) -> None:
         """Register the outgoing ``link`` and the neighbor's receive
@@ -126,6 +129,9 @@ class Router:
     def inject(self, packet: Packet) -> None:
         """A local agent (L2 miss path, Zbox, IO) sends a new packet."""
         packet.injected_at = self.sim.now
+        tr = self._trace
+        if tr is not None:
+            tr.packet_injected(packet, self.sim.now)
         if packet.dst == self.node:
             # Local loopback (striped controller pair, IO): deliver after
             # the pipeline only.
@@ -150,6 +156,9 @@ class Router:
     def _inject_on_link(self, packet: Packet) -> None:
         link, receiver = self._choose_output(packet)
         packet.hops += 1
+        tr = self._trace
+        if tr is not None:
+            tr.packet_hop(packet, self.node, self.sim.now)
         # Congestion-dependent arbitration overhead (VC contention and
         # global-arbiter conflicts grow with the queue it joins).
         penalty = self._penalty_ns

@@ -30,6 +30,32 @@ def _picklable(*objects: Any) -> bool:
     return True
 
 
+class _TelemetryCarrier:
+    """Worker-side wrapper pairing each result with the worker's
+    global-counter delta.
+
+    Worker processes increment their *own* copy of the telemetry
+    global registry (``experiments.runs`` and friends), which would
+    silently vanish with the process.  The carrier snapshots the
+    registry around ``fn(item)`` and ships the difference home; the
+    parent absorbs the deltas in submission order, so the merged
+    counters are deterministic and identical to a ``jobs=1`` run.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: T) -> "tuple[R, dict[str, int]]":
+        from repro.telemetry import CounterRegistry, global_registry
+
+        before = global_registry().snapshot()
+        result = self.fn(item)
+        delta = CounterRegistry.delta(before, global_registry().snapshot())
+        return result, delta
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -55,7 +81,16 @@ def parallel_map(
         with ProcessPoolExecutor(max_workers=min(jobs, len(seq))) as pool:
             # Executor.map preserves input order regardless of which
             # worker finishes first -- the determinism guarantee.
-            return list(pool.map(fn, seq))
+            outcomes = list(pool.map(_TelemetryCarrier(fn), seq))
     except (OSError, RuntimeError, ImportError):
         # No process support (restricted sandbox) -- quietly degrade.
         return [fn(item) for item in seq]
+    from repro.telemetry import global_registry
+
+    registry = global_registry()
+    results: list[R] = []
+    for result, delta in outcomes:
+        # Submission order, so repeated runs merge identically.
+        registry.absorb(delta)
+        results.append(result)
+    return results

@@ -260,6 +260,29 @@ class Simulator:
         """Total number of events that have fired so far."""
         return self._events_processed
 
+    def has_pending_work(self) -> bool:
+        """True while any live (non-cancelled) event is queued.  Unlike
+        :attr:`pending` this is exact *mid-run* (the processed counter
+        is batched per ``run()`` call), which is what self-rescheduling
+        telemetry samplers need to decide whether the machine is idle."""
+        return self._peek() is not None
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total number of events cancelled before firing."""
+        return self._cancelled
+
+    def stats(self) -> dict[str, float | int]:
+        """The kernel's own hardware-counter equivalents, as one dict
+        (the telemetry registry exposes these as ``sim.*`` probes)."""
+        return {
+            "now_ns": self.now,
+            "events_processed": self._events_processed,
+            "events_cancelled": self._cancelled,
+            "events_scheduled": self._seq,
+            "pending": self.pending,
+        }
+
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         self._queue.clear()

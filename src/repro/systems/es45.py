@@ -37,6 +37,7 @@ class ES45System(SystemBase):
             )
             for cpu in range(cfg.n_cpus)
         ]
+        self._telemetry_ready()
 
     def zbox_of_cpu(self, cpu: int) -> Zbox:
         return self.zboxes[0]

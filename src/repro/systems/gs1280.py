@@ -60,6 +60,7 @@ class GS1280System(SystemBase):
             )
             for node in range(self.config.n_cpus)
         ]
+        self._telemetry_ready()
 
     def zbox_of_cpu(self, cpu: int) -> Zbox:
         return self.zboxes[cpu]

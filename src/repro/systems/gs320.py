@@ -40,6 +40,7 @@ class GS320System(SystemBase):
             )
             for cpu in range(cfg.n_cpus)
         ]
+        self._telemetry_ready()
 
     def zbox_of_cpu(self, cpu: int) -> Zbox:
         cfg: GS320Config = self.config

@@ -112,6 +112,13 @@ class _ClusterFabric(FabricBase):
     def links(self) -> list[Link]:
         return [l for f in self.box_fabrics for l in f.links()]
 
+    def link_name(self, link: Link, index: int) -> str:
+        # Each box's switch links look identical (src==dst==0); qualify
+        # the counter names with the owning box.
+        per_box = len(self.box_fabrics[0].links())
+        box, local_index = divmod(index, per_box)
+        return f"box{box}." + super().link_name(link, local_index)
+
 
 class SC45System(SystemBase):
     """A cluster of 4-CPU ES45 boxes sharing one simulator."""
@@ -145,9 +152,20 @@ class SC45System(SystemBase):
             self.sim, self.n_boxes, cfg.quadrics_bw_gbps,
             cfg.quadrics_latency_ns,
         )
+        self._telemetry_ready()
 
     def box_of(self, cpu: int) -> int:
         return cpu // 4
+
+    def register_probes(self) -> None:
+        first = not self._probes_registered
+        super().register_probes()
+        if first:
+            quadrics = self.quadrics
+            self.registry.probe("quadrics.messages",
+                                lambda: quadrics.messages_sent)
+            self.registry.probe("quadrics.bytes",
+                                lambda: quadrics.bytes_sent)
 
     def zbox_of_cpu(self, cpu: int) -> Zbox:
         return self.zboxes[cpu // 4]

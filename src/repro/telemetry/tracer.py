@@ -1,0 +1,223 @@
+"""Per-packet / per-transaction event tracing (ProfileMe for packets).
+
+The 21364's ProfileMe hardware follows *individual instructions* through
+the pipeline and records where their cycles went; this tracer does the
+same for simulated packets and coherence transactions.  Components
+record lifecycle points -- inject, VC enqueue, per-hop routing, deliver;
+transaction start / complete; Zbox bus occupancy -- into one bounded
+ring buffer, which exports to the Chrome ``trace_event`` JSON format
+(load the file in ``chrome://tracing`` / Perfetto to scrub through a
+run visually).
+
+Record encoding (one tuple per record, cheap to append):
+``(ts_ns, seq, ph, name, pid, tid, args)`` where ``ph`` is the Chrome
+phase: ``"B"``/``"E"`` span begin/end, ``"X"`` complete (has
+``dur_ns`` in args), ``"i"`` instant.  Every span gets a fresh ``tid``
+from one allocator, so B/E pairs never inter-nest and a pair is matched
+by ``(pid, tid)`` alone.
+
+The buffer is a ring: when full, the oldest records fall off.  Export
+drops half-spans whose other end was evicted, so the emitted JSON always
+contains matched B/E pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any
+
+from repro.network.packet import MessageClass, Packet
+
+__all__ = ["EventTracer"]
+
+#: Default ring capacity (records, not bytes).
+DEFAULT_CAPACITY = 200_000
+
+_CLASS_NAMES = {
+    MessageClass.REQUEST: "request",
+    MessageClass.FORWARD: "forward",
+    MessageClass.RESPONSE: "response",
+    MessageClass.IO: "io",
+}
+
+
+class EventTracer:
+    """Bounded ring buffer of simulation trace records."""
+
+    __slots__ = ("capacity", "_records", "_seq", "_next_span")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError("tracer needs room for at least one B/E pair")
+        self.capacity = capacity
+        self._records: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._next_span = 1
+
+    # -- generic recording -----------------------------------------------
+    def _record(self, ts: float, ph: str, name: str, pid: int, tid: int,
+                args: dict | None = None) -> None:
+        self._records.append((ts, self._seq, ph, name, pid, tid, args))
+        self._seq += 1
+
+    def span_id(self) -> int:
+        """A fresh span (tid) identifier."""
+        sid = self._next_span
+        self._next_span = sid + 1
+        return sid
+
+    def begin(self, name: str, ts: float, pid: int,
+              args: dict | None = None) -> int:
+        """Open a span; returns the id to pass to :meth:`end`."""
+        sid = self.span_id()
+        self._record(ts, "B", name, pid, sid, args)
+        return sid
+
+    def end(self, name: str, ts: float, pid: int, sid: int,
+            args: dict | None = None) -> None:
+        self._record(ts, "E", name, pid, sid, args)
+
+    def instant(self, name: str, ts: float, pid: int, sid: int = 0,
+                args: dict | None = None) -> None:
+        self._record(ts, "i", name, pid, sid, args)
+
+    def complete(self, name: str, ts: float, dur_ns: float, pid: int,
+                 args: dict | None = None) -> None:
+        self._record(ts, "X", name, pid, 0,
+                     {**(args or {}), "dur_ns": dur_ns})
+
+    # -- packet lifecycle (called by routers/links/fabrics) ---------------
+    def packet_injected(self, packet: Packet, ts: float) -> None:
+        """Inject: opens the packet's lifecycle span (stored on the
+        packet so the delivering fabric can close it)."""
+        sid = self.span_id()
+        packet.span = sid
+        self._record(
+            ts, "B", "pkt." + _CLASS_NAMES.get(packet.msg_class, "?"),
+            packet.src, sid,
+            {"src": packet.src, "dst": packet.dst,
+             "bytes": packet.size_bytes},
+        )
+
+    def packet_vc_enqueue(self, packet: Packet, node: int, ts: float,
+                          queued: int) -> None:
+        """VC allocation: the packet joined a link's per-class queue."""
+        sid = packet.span
+        if sid is not None:
+            self._record(
+                ts, "i", "vc." + _CLASS_NAMES.get(packet.msg_class, "?"),
+                node, sid, {"node": node, "queued": queued},
+            )
+
+    def packet_hop(self, packet: Packet, node: int, ts: float) -> None:
+        """Routing decision made at ``node`` (one per hop)."""
+        sid = packet.span
+        if sid is not None:
+            self._record(ts, "i", "hop", node, sid,
+                         {"node": node, "hops": packet.hops})
+
+    def packet_delivered(self, packet: Packet, ts: float) -> None:
+        """Deliver: closes the lifecycle span.  Idempotent (the torus
+        router and the fabric base may both see the delivery)."""
+        sid = packet.span
+        if sid is not None:
+            packet.span = None
+            self._record(
+                ts, "E", "pkt." + _CLASS_NAMES.get(packet.msg_class, "?"),
+                packet.src, sid, {"hops": packet.hops},
+            )
+
+    # -- coherence transaction lifecycle ----------------------------------
+    def txn_begin(self, node: int, op: str, address: int, ts: float) -> int:
+        return self.begin("txn." + op, ts, node, {"address": address})
+
+    def txn_end(self, node: int, op: str, sid: int, ts: float) -> None:
+        self.end("txn." + op, ts, node, sid)
+
+    # -- memory controller -------------------------------------------------
+    def zbox_access(self, node: int, start_ns: float, dur_ns: float,
+                    size_bytes: int, write: bool) -> None:
+        self.complete(
+            "zbox.write" if write else "zbox.read", start_ns, dur_ns,
+            node, {"bytes": size_bytes},
+        )
+
+    # -- introspection / export -------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def recorded_total(self) -> int:
+        """Records ever recorded (>= len() once the ring wraps)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        return self._seq - len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def to_chrome(self, time_unit_ns: float = 1.0) -> dict:
+        """The Chrome ``trace_event`` document (JSON-serializable dict).
+
+        ``ts`` is in microseconds per the format; one simulated
+        nanosecond maps to ``1/1000`` us so sub-ns detail survives the
+        format's microsecond convention.  Events are sorted by
+        ``(ts, seq)`` and orphaned B/E halves (ring eviction, spans
+        still open) are dropped, so every emitted B has a matching E on
+        the same ``(pid, tid)``.
+        """
+        # First pass: which (pid, tid) span keys have both ends?
+        opens: dict[tuple[int, int], int] = {}
+        closes: dict[tuple[int, int], int] = {}
+        for rec in self._records:
+            ph = rec[2]
+            if ph == "B":
+                key = (rec[4], rec[5])
+                opens[key] = opens.get(key, 0) + 1
+            elif ph == "E":
+                key = (rec[4], rec[5])
+                closes[key] = closes.get(key, 0) + 1
+        matched = {
+            key for key, n in opens.items() if closes.get(key, 0) == n
+        }
+        events = []
+        for ts, seq, ph, name, pid, tid, args in sorted(self._records):
+            if ph in ("B", "E") and (pid, tid) not in matched:
+                continue
+            event: dict[str, Any] = {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": ph,
+                "ts": ts * time_unit_ns / 1000.0,
+                "pid": pid,
+                "tid": tid,
+            }
+            if args:
+                if ph == "X":
+                    args = dict(args)
+                    event["dur"] = args.pop("dur_ns") * time_unit_ns / 1000.0
+                if ph == "i":
+                    event["s"] = "t"  # instant scope: thread
+                if args:
+                    event["args"] = args
+            elif ph == "i":
+                event["s"] = "t"
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "recorded_total": self._seq,
+                "dropped": self.dropped,
+            },
+        }
+
+    def export(self, path: str) -> dict:
+        """Write the Chrome trace JSON to ``path``; returns the document."""
+        document = self.to_chrome()
+        with open(path, "w") as fh:
+            json.dump(document, fh)
+        return document

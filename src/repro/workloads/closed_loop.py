@@ -66,6 +66,18 @@ def run_closed_loop(
         )
         for cpu in range(system.n_cpus)
     ]
+    if system.telemetry.enabled:
+        # Expose the generators' cumulative counters as registry probes
+        # (telemetry-on runs only; the off path must not grow keys).
+        for cpu, gen in enumerate(generators):
+            stats = gen.stats
+            system.registry.probe(
+                f"node{cpu}.loadgen.issued", lambda s=stats: s.issued_total
+            )
+            system.registry.probe(
+                f"node{cpu}.loadgen.completed",
+                lambda s=stats: s.completed_total,
+            )
     for gen in generators:
         gen.start()
     system.run(until_ns=warmup_ns)

@@ -35,6 +35,26 @@ def test_dirty_read_counts_a_forward():
     assert system.counters()["directory"]["forwards"] == 1
 
 
+def test_counters_snapshots_are_detached_copies():
+    """Mutating a returned snapshot must never leak into the system or
+    into later snapshots (they are built fresh from the registry)."""
+    system = GS1280System(4)
+    system.agent(0).read(0, lambda t: None, home=2)
+    system.run()
+    first = system.counters()
+    second = system.counters()
+    assert first == second
+    assert first is not second
+    assert first["links"] is not second["links"]
+    assert first["zbox"][0] is not second["zbox"][0]
+    # Deep mutation of one snapshot leaves the next one pristine.
+    first["links"]["packets"] = -1
+    first["zbox"][2]["accesses"] = -1
+    first["directory"].clear()
+    third = system.counters()
+    assert third == second
+
+
 def test_counters_monotone_over_time():
     from repro.cpu import LoadGenerator
     from repro.sim import RngFactory
