@@ -1,0 +1,48 @@
+"""Runtime invariant checking for the simulated machines (``repro.check``).
+
+The paper's contribution is quantitative, so this reproduction's
+credibility rests on the measurement machinery never silently violating
+the EV7's own rules.  This package is the correctness counterpart of
+:mod:`repro.telemetry`: a machine-wide checker layer wired behind the
+same shared no-op handle pattern (near-zero cost when disabled), a
+seeded deterministic fuzz driver that sweeps random machine configs and
+workloads with the checkers armed (``gs1280-repro fuzz``), and a
+differential oracle that cross-checks the analytic and event-driven
+layers and the runner's determinism guarantees (``gs1280-repro
+oracle``).
+
+Invariant families (see :mod:`repro.check.invariants`):
+
+* ``directory`` -- coherence-directory legality (single owner, owner not
+  in sharers, forwards only to the owner, invalidates only to sharers);
+* ``credit`` / ``ordering`` -- per-link virtual-channel credit
+  conservation and per-class FIFO departure order;
+* ``conservation`` -- packet conservation (injected == delivered +
+  in-flight at every queue drain) and transaction liveness;
+* ``routing`` -- every forwarded hop lies on a minimal path;
+* ``time`` -- simulated time never runs backwards;
+* ``zbox`` -- memory-controller reservation monotonicity and queue
+  bounds.
+"""
+
+from repro.check.invariants import CheckConfig, InvariantViolation, SystemChecker
+from repro.check.session import (
+    NULL_CHECKER,
+    CheckSession,
+    Checking,
+    checking,
+    current_checker,
+    install,
+)
+
+__all__ = [
+    "CheckConfig",
+    "CheckSession",
+    "Checking",
+    "InvariantViolation",
+    "NULL_CHECKER",
+    "SystemChecker",
+    "checking",
+    "current_checker",
+    "install",
+]

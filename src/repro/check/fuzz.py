@@ -1,0 +1,335 @@
+"""Seeded differential fuzzing: random machines x random workloads,
+with every invariant checker armed.
+
+``gs1280-repro fuzz --seeds N`` sweeps N deterministic cases.  Each
+case is a :class:`FuzzCase` -- a frozen, JSON-round-trippable record of
+one machine configuration (torus shape incl. shuffle variants, GS320
+QBB counts, striping, adaptivity, pre-failed links) plus one short
+random coherence workload (reads / read-mods / victims over a small
+address pool, so lines get shared, forwarded and invalidated).  The
+case is fully determined by its seed: the same JSON replays the same
+events, byte for byte.
+
+A failing case is *shrunk* before it is reported: the driver greedily
+applies reductions (drop failed links, disable striping/shuffle, halve
+the workload, shrink the pool and the shape) while the failure
+persists, and prints the minimal case as replayable JSON
+(``gs1280-repro fuzz --replay '<json>'``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, replace
+from typing import Callable
+
+from repro.check.invariants import CheckConfig, InvariantViolation
+from repro.check.session import CheckSession, install
+
+__all__ = [
+    "FuzzCase",
+    "FuzzFailure",
+    "random_case",
+    "build_system",
+    "run_case",
+    "run_traffic",
+    "shrink",
+    "fuzz",
+    "case_to_json",
+    "case_from_json",
+]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully deterministic fuzz input (machine + workload)."""
+
+    seed: int
+    machine: str = "gs1280"  # or "gs320"
+    # -- gs1280 shape (ignored for gs320) --
+    cols: int = 4
+    rows: int = 4
+    shuffle: bool = False
+    max_shuffle_hops: int | None = None
+    adaptive: bool = True
+    striped: bool = False
+    failed_links: tuple[tuple[int, int], ...] = ()
+    # -- gs320 size (ignored for gs1280) --
+    n_cpus: int = 16
+    # -- workload --
+    n_txns: int = 60
+    addr_pool: int = 16
+    write_frac: float = 0.3
+    victim_frac: float = 0.1
+    remote_frac: float = 0.8
+    burst_ns: float = 1500.0
+
+    @property
+    def nodes(self) -> int:
+        return self.n_cpus if self.machine == "gs320" else self.cols * self.rows
+
+
+@dataclass
+class FuzzFailure:
+    """One failing seed: the original case, the error, and the minimal
+    still-failing reduction."""
+
+    case: FuzzCase
+    error: Exception
+    shrunk: FuzzCase | None = None
+
+    @property
+    def family(self) -> str:
+        err = self.error
+        return err.family if isinstance(err, InvariantViolation) else "crash"
+
+
+# ---------------------------------------------------------------------------
+# case generation
+# ---------------------------------------------------------------------------
+def random_case(seed: int, fast: bool = False) -> FuzzCase:
+    """The deterministic case for ``seed`` (string-seeded so it is
+    stable across Python versions and processes)."""
+    rng = random.Random(f"gs1280-fuzz-{seed}")
+    lo, hi = (12, 40) if fast else (40, 120)
+    workload = dict(
+        n_txns=rng.randint(lo, hi),
+        addr_pool=rng.randint(4, 32),
+        write_frac=rng.uniform(0.15, 0.45),
+        victim_frac=rng.uniform(0.0, 0.15),
+        remote_frac=rng.uniform(0.5, 1.0),
+        burst_ns=rng.uniform(200.0, 2500.0),
+    )
+    if rng.random() < 0.3:
+        return FuzzCase(seed=seed, machine="gs320",
+                        n_cpus=4 * rng.randint(1, 4), **workload)
+    cols = rng.randint(2, 6)
+    rows = rng.randint(1, 4)
+    shuffle_legal = (rows == 2 and cols % 2 == 0) or rows == 4
+    shuffle = shuffle_legal and rng.random() < 0.35
+    max_shuffle_hops = rng.choice((None, 1, 2)) if shuffle else None
+    failed = _random_failures(rng, cols, rows, shuffle)
+    return FuzzCase(
+        seed=seed,
+        machine="gs1280",
+        cols=cols,
+        rows=rows,
+        shuffle=shuffle,
+        max_shuffle_hops=max_shuffle_hops,
+        adaptive=rng.random() < 0.85,
+        striped=rows >= 2 and rng.random() < 0.3,
+        failed_links=failed,
+        **workload,
+    )
+
+
+def _random_failures(rng: random.Random, cols: int, rows: int,
+                     shuffle: bool) -> tuple[tuple[int, int], ...]:
+    """Pick up to two failable links, validated against disconnection on
+    a scratch topology (so the system build cannot reject them)."""
+    from repro.config import TorusShape
+    from repro.network import build_gs1280_topology
+
+    n_failures = rng.choice((0, 0, 0, 1, 1, 2))
+    if not n_failures:
+        return ()
+    topo = build_gs1280_topology(TorusShape(cols, rows), shuffle=shuffle)
+    failed: list[tuple[int, int]] = []
+    for _ in range(n_failures):
+        edges = topo.edges()
+        if not edges:
+            break
+        a, b, _cls, _sh = rng.choice(edges)
+        try:
+            topo.fail_link(a, b)
+        except ValueError:
+            continue  # would disconnect; skip this candidate
+        failed.append((a, b))
+    return tuple(failed)
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+def build_system(case: FuzzCase):
+    if case.machine == "gs320":
+        from repro.systems import GS320System
+
+        return GS320System(case.n_cpus)
+    from repro.config import GS1280Config, TorusShape
+    from repro.systems import GS1280System
+
+    shape = TorusShape(case.cols, case.rows)
+    return GS1280System(
+        n_cpus=shape.n_nodes,
+        config=GS1280Config.build(shape.n_nodes),
+        shape=shape,
+        shuffle=case.shuffle,
+        max_shuffle_hops=case.max_shuffle_hops,
+        adaptive=case.adaptive,
+        striped=case.striped,
+        failed_links=list(case.failed_links),
+    )
+
+
+def run_traffic(system, rng: random.Random, n_txns: int, addr_pool: int,
+                write_frac: float = 0.3, victim_frac: float = 0.1,
+                remote_frac: float = 0.8, burst_ns: float = 1500.0) -> int:
+    """Schedule a short random coherence workload and run the machine to
+    a full drain; returns the number of completed transactions.  Raises
+    :class:`InvariantViolation` if any completion goes missing (the
+    liveness side of the conservation family).
+
+    Also the traffic generator of the mutation tests -- a small address
+    pool forces sharing, owner forwards and invalidation fan-out.
+    """
+    n = system.n_cpus
+    agents = system.agents
+    sim = system.sim
+    completed = [0]
+    expected = 0
+
+    def on_complete(_txn):
+        completed[0] += 1
+
+    for _ in range(n_txns):
+        agent = agents[rng.randrange(n)]
+        line = rng.randrange(addr_pool)
+        address = line * 64
+        home = line % n if rng.random() < remote_frac else None
+        delay = rng.random() * burst_ns
+        roll = rng.random()
+        if roll < victim_frac:
+            sim.schedule(delay, agent.victim, address, home)
+        elif roll < victim_frac + write_frac:
+            sim.schedule(delay, agent.read_mod, address, on_complete, home)
+            expected += 1
+        else:
+            sim.schedule(delay, agent.read, address, on_complete, home)
+            expected += 1
+    system.run()  # to drain: the checker's at_drain fires here
+    if completed[0] != expected:
+        stuck = sum(a.outstanding() for a in system.agents)
+        raise InvariantViolation(
+            "conservation",
+            "liveness: transactions never completed by queue drain",
+            {"completed": completed[0], "expected": expected,
+             "outstanding": stuck},
+        )
+    return completed[0]
+
+
+def run_case(case: FuzzCase,
+             config: CheckConfig | None = None) -> CheckSession:
+    """Build the case's machine under a fresh check session and drive
+    its workload to a drain.  Any invariant violation propagates;
+    returns the session (for check counts) on a clean run."""
+    rng = random.Random(f"gs1280-fuzz-traffic-{case.seed}")
+    session = CheckSession(config)
+    previous = install(session)
+    try:
+        system = build_system(case)
+        run_traffic(system, rng, case.n_txns, case.addr_pool,
+                    case.write_frac, case.victim_frac, case.remote_frac,
+                    case.burst_ns)
+    finally:
+        install(previous)
+    return session
+
+
+def _failure_of(case: FuzzCase) -> Exception | None:
+    """The exception ``case`` raises, or None on a clean run."""
+    try:
+        run_case(case)
+    except Exception as exc:  # noqa: BLE001 - crashes are findings too
+        return exc
+    return None
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+def _shrink_candidates(case: FuzzCase):
+    """Reduction moves, most aggressive first.  Every candidate is a
+    *valid* case by construction (shape/parity constraints respected),
+    so a candidate failure always means the bug persists."""
+    if case.failed_links:
+        yield replace(case, failed_links=())
+        yield replace(case, failed_links=case.failed_links[1:])
+        yield replace(case, failed_links=case.failed_links[:-1])
+    if case.striped:
+        yield replace(case, striped=False)
+    if case.shuffle:
+        yield replace(case, shuffle=False, max_shuffle_hops=None)
+    if not case.adaptive:
+        yield replace(case, adaptive=True)
+    if case.n_txns > 4:
+        yield replace(case, n_txns=max(4, case.n_txns // 2))
+        yield replace(case, n_txns=case.n_txns - 1)
+    if case.addr_pool > 2:
+        yield replace(case, addr_pool=max(2, case.addr_pool // 2))
+    if case.machine == "gs320":
+        if case.n_cpus > 4:
+            yield replace(case, n_cpus=case.n_cpus - 4)
+    elif not case.failed_links and not case.shuffle:
+        # Shape reductions only once failure coordinates are gone.
+        if case.cols > 2:
+            yield replace(case, cols=case.cols - 1)
+        if case.rows > 1:
+            yield replace(case, rows=case.rows - 1)
+
+
+def shrink(case: FuzzCase, max_attempts: int = 60) -> FuzzCase:
+    """Greedily reduce ``case`` while it keeps failing; returns the
+    smallest still-failing case found within the attempt budget."""
+    current = case
+    attempts = 0
+    progressed = True
+    while progressed and attempts < max_attempts:
+        progressed = False
+        for candidate in _shrink_candidates(current):
+            attempts += 1
+            if _failure_of(candidate) is not None:
+                current = candidate
+                progressed = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+def fuzz(n_seeds: int, start_seed: int = 0, fast: bool = False,
+         shrink_failures: bool = True,
+         log: Callable[[str], None] | None = None) -> list[FuzzFailure]:
+    """Run ``n_seeds`` deterministic cases; returns one
+    :class:`FuzzFailure` (with a shrunk repro) per failing seed."""
+    failures: list[FuzzFailure] = []
+    for seed in range(start_seed, start_seed + n_seeds):
+        case = random_case(seed, fast=fast)
+        error = _failure_of(case)
+        if error is None:
+            continue
+        shrunk = shrink(case) if shrink_failures else None
+        failures.append(FuzzFailure(case, error, shrunk))
+        if log is not None:
+            log(f"seed {seed}: {type(error).__name__}: {error}")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip (the replayable repro format)
+# ---------------------------------------------------------------------------
+def case_to_json(case: FuzzCase) -> str:
+    return json.dumps(asdict(case), sort_keys=True)
+
+
+def case_from_json(text: str) -> FuzzCase:
+    data = json.loads(text)
+    data["failed_links"] = tuple(
+        (int(a), int(b)) for a, b in data.get("failed_links", ())
+    )
+    return FuzzCase(**data)

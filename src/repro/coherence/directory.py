@@ -49,6 +49,10 @@ class DirectoryActions:
 class Directory:
     """Directory for the lines homed at one node."""
 
+    #: Invariant checker (repro.check); stays None (class attribute)
+    #: unless a check session attached the owning system.
+    _check = None
+
     def __init__(self, home: int) -> None:
         self.home = home
         self._lines: dict[int, DirectoryEntry] = {}
@@ -71,6 +75,18 @@ class Directory:
         """Apply one request and return the home's obligations."""
         self.requests_handled += 1
         entry = self._entry_mut(address)
+        chk = self._check
+        if chk is None:
+            return self._dispatch(op, entry, address, requestor)
+        prev = (entry.state, entry.owner, frozenset(entry.sharers))
+        actions = self._dispatch(op, entry, address, requestor)
+        chk.directory_transition(self, op, address, requestor, prev,
+                                 entry, actions)
+        return actions
+
+    def _dispatch(
+        self, op: str, entry: DirectoryEntry, address: int, requestor: int
+    ) -> DirectoryActions:
         if op == CoherenceOp.READ:
             return self._handle_read(entry, requestor)
         if op == CoherenceOp.READ_MOD:

@@ -7,6 +7,8 @@ Usage::
     gs1280-repro trace fig15 [-o fig15.trace.json] [--counters-out c.json]
     gs1280-repro all [--full] [--jobs N]
     gs1280-repro export results.json [--full] [--jobs N]
+    gs1280-repro fuzz --seeds 100 [--fast] [--replay '<json>']
+    gs1280-repro oracle [--full] [--jobs N]
 
 ``--jobs N`` fans the experiments of ``all``/``export`` out over N
 worker processes.  Experiments are pure functions of their id, fidelity
@@ -18,6 +20,13 @@ the experiment under a live telemetry session: every machine it builds
 is instrumented, and the packet/transaction trace exports as Chrome
 ``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto) next to
 a full counter report.
+
+``fuzz`` sweeps seeded random machines x workloads with the
+:mod:`repro.check` invariant checkers armed, shrinks any failure to a
+minimal case and prints it as replayable JSON; ``oracle`` runs the
+differential self-checks (analytic vs event-driven within tolerance
+bands, jobs=1 vs jobs=N and telemetry-on vs -off byte identity).  Both
+exit non-zero on a finding, so CI can gate on them.
 """
 
 from __future__ import annotations
@@ -80,6 +89,50 @@ def _run_traced(args) -> int:
     return 0
 
 
+def _run_fuzz(args) -> int:
+    """``fuzz``: the seeded invariant-checking sweep (or one replay)."""
+    from repro.check.fuzz import case_from_json, case_to_json, fuzz, run_case
+
+    if args.replay is not None:
+        case = case_from_json(args.replay)
+        try:
+            session = run_case(case)
+        except Exception as exc:  # noqa: BLE001 - report any failure
+            print(f"replay FAILED: {type(exc).__name__}: {exc}")
+            return 1
+        report = session.report()
+        print(f"replay clean: {report['total_checks']} checks, "
+              f"0 violations")
+        return 0
+    start = time.time()
+    failures = fuzz(args.seeds, start_seed=args.start_seed, fast=args.fast,
+                    shrink_failures=not args.no_shrink, log=print)
+    elapsed = time.time() - start
+    if not failures:
+        print(f"fuzz: {args.seeds} seeds clean in {elapsed:.1f}s "
+              f"(start seed {args.start_seed}"
+              f"{', fast' if args.fast else ''})")
+        return 0
+    print(f"fuzz: {len(failures)}/{args.seeds} seeds FAILED "
+          f"in {elapsed:.1f}s")
+    for failure in failures:
+        print(f"\nseed {failure.case.seed} [{failure.family}]: "
+              f"{failure.error}")
+        repro_case = failure.shrunk or failure.case
+        print(f"  replay with: gs1280-repro fuzz --replay "
+              f"'{case_to_json(repro_case)}'")
+    return 1
+
+
+def _run_oracle(args) -> int:
+    """``oracle``: the differential self-checks."""
+    from repro.check.differential import format_oracle, run_oracle
+
+    report = run_oracle(fast=not args.full, jobs=args.jobs)
+    print(format_oracle(report))
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="gs1280-repro",
@@ -125,6 +178,26 @@ def main(argv: list[str] | None = None) -> int:
     export_p.add_argument("--seed", type=int, default=0)
     export_p.add_argument("--jobs", type=int, default=1,
                           help="worker processes (default 1 = serial)")
+    fuzz_p = sub.add_parser(
+        "fuzz", help="sweep random machines x workloads with invariant "
+        "checkers armed")
+    fuzz_p.add_argument("--seeds", type=int, default=50,
+                        help="number of deterministic seeds to sweep")
+    fuzz_p.add_argument("--start-seed", type=int, default=0)
+    fuzz_p.add_argument("--fast", action="store_true",
+                        help="shorter workloads per seed (CI smoke)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    fuzz_p.add_argument("--replay", metavar="JSON",
+                        help="re-run one case from its repro JSON "
+                        "instead of sweeping")
+    oracle_p = sub.add_parser(
+        "oracle", help="differential self-checks: analytic vs "
+        "event-driven, jobs and telemetry identity")
+    oracle_p.add_argument("--full", action="store_true",
+                          help="longer measurement windows")
+    oracle_p.add_argument("--jobs", type=int, default=2,
+                          help="fan-out width for the jobs-identity leg")
     chart_p = sub.add_parser("chart", help="render one figure as SVG")
     chart_p.add_argument("exp_id")
     chart_p.add_argument("-o", "--out", required=True,
@@ -137,6 +210,10 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id in experiment_ids():
             print(exp_id)
         return 0
+    if args.command == "fuzz":
+        return _run_fuzz(args)
+    if args.command == "oracle":
+        return _run_oracle(args)
     if args.command == "export":
         from repro.experiments.export import export_results
 

@@ -40,6 +40,7 @@ class Zbox:
         "rdrams",
         "_bus_free_at",
         "_trace",
+        "_check",
         "busy_ns_total",
         "bytes_total",
         "accesses_total",
@@ -56,6 +57,7 @@ class Zbox:
         self.rdrams = [RdramArray(config) for _ in range(n_controllers)]
         self._bus_free_at = [0.0] * n_controllers
         self._trace = None  # telemetry tracer; None on disabled runs
+        self._check = None  # invariant checker; same contract
         self.busy_ns_total = 0.0
         self.bytes_total = 0
         self.accesses_total = 0
@@ -111,6 +113,9 @@ class Zbox:
                 self._bus_free_at[tail_ctrl], start + slot_ns + tail_slot
             )
             self.busy_ns_total += 2 * tail_slot
+        chk = self._check
+        if chk is not None:
+            chk.zbox_access(self, address, size_bytes)
         if write:
             # Writes complete once buffered; DRAM latency is off the
             # critical path but the bus occupancy above is still paid.

@@ -33,6 +33,8 @@ class FabricBase:
 
     #: Telemetry tracer; stays None (class attribute) on disabled runs.
     _trace = None
+    #: Invariant checker (repro.check); same contract as the tracer.
+    _check = None
 
     def __init__(self, sim: Simulator, n_nodes: int) -> None:
         self.sim = sim
@@ -46,6 +48,9 @@ class FabricBase:
         tr = self._trace
         if tr is not None:
             tr.packet_delivered(packet, self.sim.now)
+        chk = self._check
+        if chk is not None:
+            chk.packet_delivered(packet)
         agent = self._agents.get(packet.dst)
         if agent is None:
             raise RuntimeError(f"no agent registered at node {packet.dst}")
@@ -185,6 +190,9 @@ class SwitchFabric(FabricBase):
         tr = self._trace
         if tr is not None:
             tr.packet_injected(packet, self.sim.now)
+        chk = self._check
+        if chk is not None:
+            chk.packet_injected(packet)
         src_g = self.group_of(packet.src)
         dst_g = self.group_of(packet.dst)
         if src_g == dst_g:

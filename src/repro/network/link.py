@@ -56,6 +56,7 @@ class Link:
         "_wire_free_cb",
         "_trace",
         "_stall_counters",
+        "_check",
         "busy_until",
         "busy_ns_total",
         "bytes_total",
@@ -100,6 +101,8 @@ class Link:
         # submit path pays one is-None check, nothing more.
         self._trace = None
         self._stall_counters: list | None = None
+        # Invariant checker (repro.check); same contract as _trace.
+        self._check = None
         self.busy_until = 0.0
         self.busy_ns_total = 0.0
         self.bytes_total = 0
@@ -134,6 +137,9 @@ class Link:
                 self._trace.packet_vc_enqueue(
                     packet, self.src, self.sim.now, self._queued_count
                 )
+        chk = self._check
+        if chk is not None:
+            chk.link_submitted(self, packet)
         if not self._busy:
             self._start_next()
 
@@ -189,6 +195,9 @@ class Link:
         self.busy_ns_total += ser_ns
         self.bytes_total += size
         self.packets_total += 1
+        chk = self._check
+        if chk is not None:
+            chk.link_started(self, _seq, packet)
         # Head arrival: cut-through packets overlap serialization with the
         # wire flight; first-link packets are stored-and-forwarded.
         head_delay = self.wire_ns + (ser_ns if not packet.serialized else 0.0)

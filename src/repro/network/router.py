@@ -68,6 +68,7 @@ class Router:
         "_penalty_ns",
         "_inject_cb",
         "_trace",
+        "_check",
     )
 
     def __init__(
@@ -110,6 +111,8 @@ class Router:
         self._inject_cb = self._inject_on_link
         # Telemetry tracer; None unless a session attached this system.
         self._trace = None
+        # Invariant checker (repro.check); same contract as _trace.
+        self._check = None
 
     def attach_link(self, link: Link, receiver: Callable[[Packet], None]) -> None:
         """Register the outgoing ``link`` and the neighbor's receive
@@ -132,6 +135,9 @@ class Router:
         tr = self._trace
         if tr is not None:
             tr.packet_injected(packet, self.sim.now)
+        chk = self._check
+        if chk is not None:
+            chk.packet_injected(packet)
         if packet.dst == self.node:
             # Local loopback (striped controller pair, IO): deliver after
             # the pipeline only.
@@ -159,6 +165,9 @@ class Router:
         tr = self._trace
         if tr is not None:
             tr.packet_hop(packet, self.node, self.sim.now)
+        chk = self._check
+        if chk is not None:
+            chk.router_hop(self, packet, link)
         # Congestion-dependent arbitration overhead (VC contention and
         # global-arbiter conflicts grow with the queue it joins).
         penalty = self._penalty_ns

@@ -63,6 +63,9 @@ class Topology:
         #: the BFS distance tables per call (the reference path, used by
         #: the property tests and the perf harness's "before" side).
         self.route_cache_enabled: bool = True
+        #: Links removed by :meth:`fail_link`, as (a, b, class, shuffle)
+        #: in failure order; :meth:`repair_link` restores from here.
+        self._failed: list[tuple[int, int, str, bool]] = []
 
     # -- construction ---------------------------------------------------
     def _add_link(self, a: int, b: int, link_class: str, shuffle: bool = False):
@@ -216,19 +219,58 @@ class Topology:
 
     def fail_link(self, a: int, b: int) -> None:
         """Remove a physical link (cable pull / failure) and rebuild the
-        routing tables.  Raises if the link does not exist or if losing
-        it disconnects the network.  The adaptive router then routes
-        around the failure with no further configuration -- the
-        resilience property the 21364's table-driven routing provides.
-        Rebuilding bumps :attr:`routes_version`, which explicitly
-        invalidates every router-side next-hop cache.
+        routing tables.  Raises :class:`ValueError` if the nodes are not
+        adjacent or if losing the link would disconnect the network (the
+        topology is left untouched in both cases).  The adaptive router
+        then routes around the failure with no further configuration --
+        the resilience property the 21364's table-driven routing
+        provides.  Rebuilding bumps :attr:`routes_version`, which
+        explicitly invalidates every router-side next-hop cache.
         """
-        before = len(self._adj[a])
+        if not (0 <= a < self.n_nodes and 0 <= b < self.n_nodes):
+            raise ValueError(
+                f"cannot fail link {a}<->{b}: node ids must be in "
+                f"[0, {self.n_nodes})"
+            )
+        removed = next((t for t in self._adj[a] if t[0] == b), None)
+        if removed is None:
+            raise ValueError(
+                f"cannot fail link {a}<->{b}: the nodes are not "
+                f"connected by a physical link"
+            )
+        removed_rev = next(t for t in self._adj[b] if t[0] == a)
         self._adj[a] = [t for t in self._adj[a] if t[0] != b]
-        if len(self._adj[a]) == before:
-            raise KeyError(f"no link {a}<->{b}")
         self._adj[b] = [t for t in self._adj[b] if t[0] != a]
-        self._finalize()  # raises ValueError if now disconnected
+        try:
+            self._finalize()
+        except ValueError:
+            # Disconnection is detected before any table is replaced
+            # (the BFS raises mid-comprehension), so restoring the
+            # adjacency lists restores the exact pre-call state.
+            self._adj[a].append(removed)
+            self._adj[b].append(removed_rev)
+            raise ValueError(
+                f"cannot fail link {a}<->{b}: removing it would "
+                f"disconnect the network"
+            ) from None
+        self._failed.append((a, b, removed[1], removed[2]))
+
+    def repair_link(self, a: int, b: int) -> None:
+        """Restore a link previously removed by :meth:`fail_link` (with
+        its original class and shuffle flag) and rebuild the routing
+        tables.  Raises :class:`ValueError` if no such failed link is on
+        record."""
+        for index, (fa, fb, cls, shuffle) in enumerate(self._failed):
+            if (fa, fb) in ((a, b), (b, a)):
+                del self._failed[index]
+                self._add_link(fa, fb, cls, shuffle)
+                self._finalize()
+                return
+        raise ValueError(f"cannot repair link {a}<->{b}: it is not failed")
+
+    def failed_links(self) -> list[tuple[int, int]]:
+        """The (a, b) pairs currently failed, in failure order."""
+        return [(a, b) for a, b, _cls, _sh in self._failed]
 
     def edges(self) -> list[tuple[int, int, str, bool]]:
         """Each undirected edge once, as (a, b, class, shuffle) with a < b."""

@@ -105,6 +105,9 @@ class Simulator:
         self._cancelled: int = 0
         self._events_processed: int = 0
         self._running = False
+        # Invariant checker (repro.check); None unless a check session
+        # attached the owning system.
+        self._check = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -158,13 +161,18 @@ class Simulator:
         Returns ``False`` when the queue is exhausted.
         """
         head = self._peek()
+        chk = self._check
         if head is None:
+            if chk is not None:
+                chk.at_drain(self)
             return False
         event, from_immediate = head
         if from_immediate:
             self._immediate.popleft()
         else:
             heapq.heappop(self._queue)
+        if chk is not None:
+            chk.event_time(event.time, self.now, event)
         self.now = event.time
         self._events_processed += 1
         event.fn(*event.args)
@@ -195,6 +203,7 @@ class Simulator:
         imm = self._immediate
         queue = self._queue
         pop = _heappop
+        chk = self._check
         try:
             while True:
                 # Inlined _peek(): this loop is the simulator's hottest
@@ -234,9 +243,15 @@ class Simulator:
                     imm.popleft()
                 else:
                     pop(queue)
+                if chk is not None:
+                    chk.event_time(etime, self.now, event)
                 self.now = etime
                 processed += 1
                 event.fn(*event.args)
+            if chk is not None:
+                # The queue truly drained (the break above, not an
+                # until/max_events stop): packet conservation must hold.
+                chk.at_drain(self)
             if until is not None and until > self.now:
                 self.now = until
         finally:

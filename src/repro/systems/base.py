@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.check import current_checker
 from repro.coherence import CoherenceAgent
 from repro.config import MachineConfig
 from repro.memory import Zbox
@@ -39,6 +40,10 @@ class SystemBase:
         #: The telemetry handle this machine was built under (the
         #: installed session, or the shared no-op handle).
         self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        #: The machine's invariant checker (a
+        #: :class:`~repro.check.invariants.SystemChecker`); set by a
+        #: check session's attach, None on unchecked runs.
+        self.checker = None
         #: This machine's own counter registry (always present; probes
         #: register lazily so idle construction stays cheap).
         self.registry = CounterRegistry()
@@ -58,9 +63,10 @@ class SystemBase:
     # -- telemetry wiring -------------------------------------------------
     def _telemetry_ready(self) -> None:
         """Called by subclasses once fabric/zboxes/agents exist; hands
-        the machine to the installed telemetry session (no-op when
-        telemetry is disabled)."""
+        the machine to the installed telemetry and checking sessions
+        (both no-ops when disabled)."""
         self.telemetry.attach(self)
+        current_checker().attach(self)
 
     def register_probes(self) -> None:
         """Register every hardware-style counter of this machine on the

@@ -1,0 +1,146 @@
+"""The invariant-checker layer itself: the shared no-op handle pattern,
+session attach wiring, clean runs on both machines, config toggles, and
+violation ergonomics."""
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    CheckSession,
+    InvariantViolation,
+    NULL_CHECKER,
+    checking,
+    current_checker,
+    install,
+)
+from repro.check.fuzz import FuzzCase, run_case
+from repro.systems import GS320System, GS1280System
+
+
+class TestHandlePattern:
+    def test_default_handle_is_the_null_checker(self):
+        assert current_checker() is NULL_CHECKER
+        assert not NULL_CHECKER.enabled
+        assert not bool(NULL_CHECKER)
+
+    def test_uninstrumented_system_has_no_checker(self):
+        system = GS1280System(4)
+        assert system.checker is None
+        assert system.sim._check is None
+        for link in system.fabric.links():
+            assert link._check is None
+        for zbox in system.zboxes:
+            assert zbox._check is None
+        for agent in system.agents:
+            assert agent.directory._check is None
+
+    def test_install_returns_previous_handle(self):
+        sess = CheckSession()
+        previous = install(sess)
+        try:
+            assert previous is NULL_CHECKER
+            assert current_checker() is sess
+        finally:
+            install(previous)
+        assert current_checker() is NULL_CHECKER
+
+    def test_checking_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with checking():
+                raise RuntimeError("boom")
+        assert current_checker() is NULL_CHECKER
+
+
+class TestAttachWiring:
+    def test_every_component_shares_one_checker(self):
+        with checking() as sess:
+            system = GS1280System(8)
+        checker = system.checker
+        assert checker is not None
+        assert system.sim._check is checker
+        assert system.fabric._check is checker
+        for link in system.fabric.links():
+            assert link._check is checker
+        for router in system.fabric.routers:
+            assert router._check is checker
+        for zbox in system.zboxes:
+            assert zbox._check is checker
+        for agent in system.agents:
+            assert agent.directory._check is checker
+        assert len(sess.attached) == 1
+
+    def test_gs320_switch_fabric_attaches_too(self):
+        with checking() as sess:
+            system = GS320System(8)
+        assert system.checker is not None
+        assert system.fabric._check is system.checker
+        assert len(sess.attached) == 1
+
+    def test_machines_outside_the_session_stay_bare(self):
+        with checking():
+            pass
+        system = GS1280System(4)
+        assert system.checker is None
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("machine", ["gs1280", "gs320"])
+    def test_random_workload_runs_clean(self, machine):
+        case = FuzzCase(seed=7, machine=machine, n_txns=30, addr_pool=8)
+        report = run_case(case).report()
+        assert report["total_violations"] == 0
+        assert report["total_checks"] > 100
+
+    def test_conservation_balances_at_drain(self):
+        session = run_case(FuzzCase(seed=3, n_txns=40, addr_pool=8))
+        (_label, checker), = session.attached
+        assert checker.injected > 0
+        assert checker.injected == checker.delivered
+        assert checker.in_flight == {}
+        assert checker.drains >= 1
+
+    def test_shuffle_striped_and_failed_link_variants_run_clean(self):
+        for case in (
+            FuzzCase(seed=5, cols=4, rows=4, shuffle=True, n_txns=25),
+            FuzzCase(seed=5, cols=4, rows=2, striped=True, n_txns=25),
+            FuzzCase(seed=5, cols=4, rows=4, failed_links=((0, 1),),
+                     n_txns=25),
+        ):
+            assert run_case(case).report()["total_violations"] == 0
+
+
+class TestConfigToggles:
+    def test_disabled_family_does_not_check(self):
+        config = CheckConfig(conservation=False)
+        session = run_case(FuzzCase(seed=2, n_txns=20), config)
+        (_label, checker), = session.attached
+        assert checker.injected == 0  # family never counted anything
+        assert checker.checks > 0  # the other families still ran
+
+    def test_zbox_backlog_bound_enforced(self):
+        config = CheckConfig(max_zbox_backlog_ns=1e-3)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_case(FuzzCase(seed=2, n_txns=30, addr_pool=4), config)
+        assert excinfo.value.family == "zbox"
+        assert "backlog" in str(excinfo.value)
+
+
+class TestViolationErgonomics:
+    def test_violation_is_an_assertion_error(self):
+        violation = InvariantViolation("credit", "leak", {"counter": 3})
+        assert isinstance(violation, AssertionError)
+        assert violation.family == "credit"
+        assert "[credit]" in str(violation)
+        assert "counter=3" in str(violation)
+
+    def test_fail_records_before_raising(self):
+        with checking():
+            system = GS1280System(4)
+        checker = system.checker
+        with pytest.raises(InvariantViolation):
+            checker._fail("time", "synthetic")
+        assert len(checker.violations) == 1
+        assert checker.summary()["violations"] == 1
+        # The machine context was stamped in automatically.
+        details = checker.violations[0].details
+        assert "time_ns" in details and "events_processed" in details

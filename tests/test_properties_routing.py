@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) over the precomputed routing
+tables: minimal-adaptive legality on arbitrary torus shapes, and
+completeness under single/double link failures and repair -- the
+route-table side of the ``routing`` invariant family in
+:mod:`repro.check`."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TorusShape
+from repro.network import ShuffleTopology, TorusTopology
+
+torus_shapes = st.sampled_from(
+    [TorusShape(c, r) for c, r in
+     ((2, 1), (3, 1), (2, 2), (3, 2), (4, 2), (5, 2), (4, 3), (4, 4),
+      (6, 4), (8, 4))]
+)
+shuffle_shapes = st.sampled_from(
+    [TorusShape(c, r) for c, r in ((4, 2), (6, 2), (8, 2), (4, 4), (8, 4))]
+)
+
+
+@given(torus_shapes, st.data())
+@settings(max_examples=40, deadline=None)
+def test_tables_minimal_adaptive_legal(shape, data):
+    """Every precomputed next hop is (a) a physical neighbor and
+    (b) strictly distance-reducing; and the hop set is *complete*: it
+    contains every neighbor that reduces distance (full adaptivity)."""
+    topo = TorusTopology(shape)
+    src = data.draw(st.integers(0, shape.n_nodes - 1))
+    dst = data.draw(st.integers(0, shape.n_nodes - 1))
+    if src == dst:
+        assert topo.minimal_next_hops(src, dst) == []
+        return
+    neighbors = {n for n, _cls, _sh in topo.neighbors(src)}
+    hops = topo.minimal_next_hops(src, dst)
+    assert hops
+    d_here = topo.distance(src, dst)
+    for nxt in hops:
+        assert nxt in neighbors
+        assert topo.distance(nxt, dst) == d_here - 1
+    reducing = {n for n in neighbors if topo.distance(n, dst) == d_here - 1}
+    assert set(hops) == reducing
+
+
+@given(shuffle_shapes, st.data())
+@settings(max_examples=25, deadline=None)
+def test_shuffle_tables_legal_too(shape, data):
+    topo = ShuffleTopology(shape)
+    src = data.draw(st.integers(0, shape.n_nodes - 1))
+    dst = data.draw(st.integers(0, shape.n_nodes - 1))
+    if src == dst:
+        return
+    d_here = topo.distance(src, dst)
+    for nxt in topo.minimal_next_hops(src, dst):
+        assert topo.distance(nxt, dst) == d_here - 1
+
+
+@given(st.sampled_from([TorusShape(4, 2), TorusShape(4, 4),
+                        TorusShape(8, 4)]),
+       st.data())
+@settings(max_examples=25, deadline=None)
+def test_double_failure_routing_stays_complete(shape, data):
+    """After any two (accepted) link failures, the tables still route
+    every pair minimally over the surviving graph."""
+    topo = TorusTopology(shape)
+    for _ in range(2):
+        a, b, _cls, _sh = data.draw(st.sampled_from(topo.edges()))
+        try:
+            topo.fail_link(a, b)
+        except ValueError:
+            pass  # would disconnect; the reject must leave tables intact
+    src = data.draw(st.integers(0, shape.n_nodes - 1))
+    dst = data.draw(st.integers(0, shape.n_nodes - 1))
+    node, steps = src, 0
+    while node != dst:
+        hops = topo.minimal_next_hops(node, dst)
+        assert hops, (node, dst, topo.failed_links())
+        d_here = topo.distance(node, dst)
+        for nxt in hops:
+            assert topo.distance(nxt, dst) == d_here - 1
+        node = hops[0]
+        steps += 1
+    assert steps == topo.distance(src, dst)
+
+
+@given(st.sampled_from([TorusShape(4, 2), TorusShape(4, 4),
+                        TorusShape(6, 4)]),
+       st.data())
+@settings(max_examples=25, deadline=None)
+def test_repair_restores_the_healthy_tables(shape, data):
+    """fail_link then repair_link is a no-op on the routing tables:
+    every distance and hop set returns to the healthy value, for any
+    failed edge and any repair order."""
+    topo = TorusTopology(shape)
+    healthy = TorusTopology(shape)
+    a, b, _cls, _sh = data.draw(st.sampled_from(topo.edges()))
+    try:
+        topo.fail_link(a, b)
+    except ValueError:
+        return
+    if data.draw(st.booleans()):
+        a, b = b, a  # repair in either order
+    topo.repair_link(a, b)
+    assert topo.failed_links() == []
+    for src in range(shape.n_nodes):
+        for dst in range(shape.n_nodes):
+            assert topo.distance(src, dst) == healthy.distance(src, dst)
+            # Hop *sets* must match; order is an adjacency-list
+            # tie-break and may differ after a repair re-appends.
+            assert (set(topo.minimal_next_hops(src, dst))
+                    == set(healthy.minimal_next_hops(src, dst)))
+
+
+@given(st.sampled_from([TorusShape(4, 4), TorusShape(8, 4)]), st.data())
+@settings(max_examples=20, deadline=None)
+def test_failure_keeps_distances_metric(shape, data):
+    """Surviving distances still form a metric: symmetric, zero only on
+    the diagonal, and respecting the triangle inequality over any
+    failed-link detour."""
+    topo = TorusTopology(shape)
+    a, b, _cls, _sh = data.draw(st.sampled_from(topo.edges()))
+    try:
+        topo.fail_link(a, b)
+    except ValueError:
+        return
+    x = data.draw(st.integers(0, shape.n_nodes - 1))
+    y = data.draw(st.integers(0, shape.n_nodes - 1))
+    z = data.draw(st.integers(0, shape.n_nodes - 1))
+    assert topo.distance(x, y) == topo.distance(y, x)
+    assert (topo.distance(x, y) == 0) == (x == y)
+    assert topo.distance(x, z) <= topo.distance(x, y) + topo.distance(y, z)

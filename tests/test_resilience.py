@@ -24,13 +24,33 @@ class TestTopologyFailures:
 
     def test_unknown_link_rejected(self):
         topo = TorusTopology(TorusShape(4, 4))
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"0<->5.*not\s+connected"):
             topo.fail_link(0, 5)  # not adjacent
+        with pytest.raises(ValueError, match=r"0<->99"):
+            topo.fail_link(0, 99)  # not even a node
 
     def test_disconnection_detected(self):
         topo = TorusTopology(TorusShape(2, 1))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="disconnect"):
             topo.fail_link(0, 1)  # the only link
+        # The rejected failure must leave the topology untouched.
+        assert topo.distance(0, 1) == 1
+        assert topo.failed_links() == []
+
+    def test_repair_restores_routes_and_class(self):
+        topo = TorusTopology(TorusShape(4, 4))
+        cls_before = topo.link_class(0, 1)
+        version = topo.routes_version
+        topo.fail_link(0, 1)
+        assert topo.failed_links() == [(0, 1)]
+        assert topo.distance(0, 1) == 3
+        topo.repair_link(1, 0)  # order-insensitive
+        assert topo.failed_links() == []
+        assert topo.distance(0, 1) == 1
+        assert topo.link_class(0, 1) == cls_before
+        assert topo.routes_version > version
+        with pytest.raises(ValueError, match="not failed"):
+            topo.repair_link(0, 1)
 
     def test_many_failures_still_connected(self):
         topo = TorusTopology(TorusShape(4, 4))
