@@ -19,6 +19,12 @@ smoke check::
     # parallel and serial latency maps agree exactly
     python benchmarks/bench_perf_hotpath.py --quick
 
+    # CI regression gate: measure, compare events/sec against the
+    # committed baseline's "after" side, fail when more than
+    # --tolerance slower, and write the fresh numbers for upload
+    python benchmarks/bench_perf_hotpath.py --gate BENCH_PR1.json \
+        --tolerance 0.15 --out BENCH_PR4.json
+
 The measured workload is one Figure-15 load-test point: every CPU of a
 64P GS1280 reads from random other CPUs with a fixed number of
 outstanding loads (default 16), over a fixed warmup + measurement
@@ -143,10 +149,78 @@ def quick_smoke() -> int:
     return 0
 
 
+def gate(baseline_path: str, tolerance: float, repeat: int,
+         out: str | None) -> int:
+    """Benchmark-regression gate: fail when the tree is more than
+    ``tolerance`` slower than the recorded baseline.
+
+    The baseline file may be a bare measurement (``--measure``) or a
+    full report (``--out``); reports contribute their "after" side.
+    Two checks run: the *model outputs* (completed transactions,
+    latency) must match the baseline exactly when the workload shape
+    is unchanged -- a host-independent semantic regression check --
+    and events/sec must stay within the tolerance band, which absorbs
+    host-speed differences up to the band's width.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    if "after" in baseline:
+        baseline = baseline["after"]
+    fresh = best_of(repeat)
+    report = {
+        "benchmark": "fig15 load-test point, GS1280/64P",
+        "baseline_path": baseline_path,
+        "tolerance": tolerance,
+        "baseline": baseline,
+        "after": fresh,
+        "ratio_events_per_sec": (
+            fresh["events_per_sec"] / baseline["events_per_sec"]
+        ),
+    }
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    failures = []
+    same_workload = all(
+        fresh[k] == baseline[k]
+        for k in ("n_cpus", "outstanding", "warmup_ns", "window_ns", "seed")
+    )
+    if same_workload and (
+        fresh["completed"] != baseline["completed"]
+        or fresh["latency_ns"] != baseline["latency_ns"]
+    ):
+        failures.append(
+            "model outputs diverged from baseline: "
+            f"completed {baseline['completed']} -> {fresh['completed']}, "
+            f"latency {baseline['latency_ns']:.4f} -> "
+            f"{fresh['latency_ns']:.4f} ns"
+        )
+    ratio = report["ratio_events_per_sec"]
+    floor = 1.0 - tolerance
+    verdict = "ok" if ratio >= floor else "REGRESSION"
+    print(f"bench gate: {fresh['events_per_sec']:,.0f} events/s vs "
+          f"baseline {baseline['events_per_sec']:,.0f} "
+          f"(ratio {ratio:.3f}, floor {floor:.3f}) -> {verdict}"
+          + (f"; report -> {out}" if out else ""))
+    if ratio < floor:
+        failures.append(
+            f"throughput regression: {ratio:.3f} of baseline "
+            f"(> {tolerance:.0%} slower)"
+        )
+    for failure in failures:
+        print(f"bench gate FAILED: {failure}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="fast smoke check (no 64P measurement)")
+    parser.add_argument("--gate", metavar="BASELINE",
+                        help="regression gate: compare against this "
+                             "baseline JSON, exit non-zero beyond "
+                             "--tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed slowdown fraction for --gate "
+                             "(default 0.15 = fail >15%% slower)")
     parser.add_argument("--measure", metavar="PATH",
                         help="write a bare measurement (for use as a "
                              "baseline later) and exit")
@@ -177,6 +251,12 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args) -> int:
     if args.quick:
         return quick_smoke()
+
+    if args.gate:
+        # Don't clobber the committed baseline with the gate report
+        # unless the caller chose an output path explicitly.
+        out = args.out if args.out != "BENCH_PR1.json" else None
+        return gate(args.gate, args.tolerance, args.repeat, out)
 
     if args.measure:
         record = best_of(args.repeat)

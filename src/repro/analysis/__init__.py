@@ -2,6 +2,7 @@
 SPEC rate scaling, striping impact, I/O bandwidth, and the Figure 28
 summary ratios."""
 
+from repro.analysis.campaign import campaign_summary, format_campaign
 from repro.analysis.diversity import DiversityStats, path_diversity
 from repro.analysis.io import sustained_io_bandwidth_gbps
 from repro.analysis.latency import (
@@ -53,7 +54,9 @@ __all__ = [
     "ValidationRow",
     "average_latency",
     "average_read_dirty_latency",
+    "campaign_summary",
     "chart_from_result",
+    "format_campaign",
     "latency_map",
     "path_diversity",
     "latency_scaling",

@@ -1,0 +1,62 @@
+"""Campaign-level accounting: per-sweep status, cache hit rates and
+wall-time bookkeeping, rendered through the same
+:class:`~repro.experiments.base.ExperimentResult` machinery as the
+paper figures so ``format_result`` prints it."""
+
+from __future__ import annotations
+
+from repro.campaign.engine import CampaignResult
+from repro.experiments.base import ExperimentResult, format_result
+
+__all__ = ["campaign_summary", "format_campaign"]
+
+
+def campaign_summary(result: CampaignResult) -> ExperimentResult:
+    """One row per sweep: point counts, hits, compute seconds."""
+    sweeps: list[str] = []
+    for outcome in result.outcomes:
+        if outcome.point.sweep not in sweeps:
+            sweeps.append(outcome.point.sweep)
+    rows = []
+    for sweep in sweeps:
+        outcomes = result.sweep_outcomes(sweep)
+        hits = sum(1 for o in outcomes if o.status == "hit")
+        computed_keys = {
+            o.point.key for o in outcomes if o.status == "computed"
+        }
+        compute_s = 0.0
+        seen: set[str] = set()
+        for o in outcomes:
+            if o.status == "computed" and o.point.key not in seen:
+                seen.add(o.point.key)
+                compute_s += o.elapsed_s
+        rows.append([
+            sweep, len(outcomes), hits, len(computed_keys),
+            100.0 * hits / len(outcomes), compute_s,
+        ])
+    notes = [
+        f"{result.n_points} points, {result.hits} cache hits "
+        f"({100.0 * result.hit_rate:.0f}%), "
+        f"{result.computed} computed in {result.compute_s:.1f}s "
+        f"(wall {result.wall_s:.1f}s)",
+    ]
+    if result.saved_s > 0:
+        notes.append(
+            f"cache saved ~{result.saved_s:.1f}s of recorded compute"
+        )
+    if result.cache_dir:
+        notes.append(f"cache dir: {result.cache_dir}")
+    else:
+        notes.append("in-memory run (no cache dir)")
+    return ExperimentResult(
+        exp_id=f"campaign:{result.name}",
+        title="sweep campaign summary",
+        headers=["sweep", "points", "hits", "computed", "hit %",
+                 "compute s"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def format_campaign(result: CampaignResult) -> str:
+    return format_result(campaign_summary(result))

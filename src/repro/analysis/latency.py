@@ -13,7 +13,6 @@ from __future__ import annotations
 from functools import partial
 from typing import Callable
 
-from repro.config import torus_shape_for
 from repro.parallel import parallel_map
 from repro.systems import GS320System, GS1280System
 from repro.systems.base import SystemBase

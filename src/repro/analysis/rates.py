@@ -17,7 +17,6 @@ per-benchmark slowdown is Figure 25.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from repro.config import (
     CACHE_LINE_BYTES,

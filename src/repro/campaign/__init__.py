@@ -1,0 +1,67 @@
+"""repro.campaign: declarative parameter sweeps with a
+content-addressed result cache.
+
+The paper's evaluation is a grid -- systems x CPU counts x workloads x
+torus shapes x shuffle/striping variants.  This package turns such a
+grid into a *campaign*: a :class:`~repro.campaign.spec.CampaignSpec`
+expands deterministically into independent points, the engine executes
+only the points whose content hash is not already in the cache
+(fanning misses over the ``parallel_map`` process pool), and exports /
+summaries are assembled from the per-point results.  Re-runs, resumed
+interrupted campaigns, and overlapping sweeps all cost only the points
+that actually changed.
+"""
+
+from repro.campaign.builtin import (
+    BUILTIN_CAMPAIGNS,
+    builtin_campaign,
+    builtin_names,
+)
+from repro.campaign.cache import CACHE_SALT, ResultCache, point_key
+from repro.campaign.engine import (
+    CampaignResult,
+    Point,
+    PointOutcome,
+    default_cache_dir,
+    expand_points,
+    export_csv,
+    export_json,
+    run_campaign,
+    write_export,
+)
+from repro.campaign.points import POINT_KINDS, point_kinds, run_point
+from repro.campaign.spec import (
+    CampaignSpec,
+    SweepSpec,
+    canonical_json,
+    load_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CACHE_SALT",
+    "CampaignResult",
+    "CampaignSpec",
+    "POINT_KINDS",
+    "Point",
+    "PointOutcome",
+    "ResultCache",
+    "SweepSpec",
+    "builtin_campaign",
+    "builtin_names",
+    "canonical_json",
+    "default_cache_dir",
+    "expand_points",
+    "export_csv",
+    "export_json",
+    "load_spec",
+    "point_key",
+    "point_kinds",
+    "run_campaign",
+    "run_point",
+    "spec_from_dict",
+    "spec_to_dict",
+    "write_export",
+]

@@ -1,0 +1,108 @@
+"""Built-in campaigns runnable by name: ``gs1280-repro sweep <name>``.
+
+The figure campaigns are declared next to the experiments they feed
+(each ported experiment module exposes ``campaign_spec(fast, seed)``),
+so ``sweep fig06`` and ``run fig06`` expand the exact same grid and
+share cache entries.  ``paper-core`` is the acceptance campaign
+(fig06 + fig15 points in one spec); ``smoke`` is the seconds-long CI
+campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.campaign.spec import CampaignSpec, SweepSpec
+
+__all__ = ["BUILTIN_CAMPAIGNS", "builtin_campaign", "builtin_names"]
+
+
+def _smoke(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    """Tiny fixed campaign for CI: a handful of analytic and
+    event-driven points, a couple of seconds cold."""
+    return CampaignSpec(
+        name="smoke",
+        description="CI smoke campaign: small stream + load-test grid",
+        sweeps=(
+            SweepSpec(
+                name="stream",
+                kind="stream",
+                base={"kernel": "triad"},
+                grid={"system": ["GS1280", "GS320"], "cpus": [1, 2, 4]},
+            ),
+            SweepSpec(
+                name="loadtest",
+                kind="load_test",
+                base={
+                    "system": "GS1280", "cpus": 8, "seed": seed,
+                    "warmup_ns": 500.0, "window_ns": 1500.0,
+                },
+                grid={"outstanding": [1, 4]},
+            ),
+        ),
+    )
+
+
+def _merge(name: str, description: str,
+           specs: list[CampaignSpec]) -> CampaignSpec:
+    """One campaign holding every sweep of ``specs``, sweep names
+    prefixed by their source campaign to stay unique."""
+    sweeps = tuple(
+        SweepSpec(
+            name=f"{spec.name}/{sweep.name}", kind=sweep.kind,
+            base=sweep.base, grid=sweep.grid,
+        )
+        for spec in specs
+        for sweep in spec.sweeps
+    )
+    return CampaignSpec(name=name, description=description, sweeps=sweeps)
+
+
+def _paper_core(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    from repro.experiments import fig06_stream_scaling, fig15_load_test
+
+    return _merge(
+        "paper-core",
+        "fig06 STREAM scaling + fig15 load-test grids",
+        [
+            fig06_stream_scaling.campaign_spec(fast=fast, seed=seed),
+            fig15_load_test.campaign_spec(fast=fast, seed=seed),
+        ],
+    )
+
+
+def _experiment_campaign(module_name: str) -> Callable[..., CampaignSpec]:
+    def build(fast: bool = True, seed: int = 0) -> CampaignSpec:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        return module.campaign_spec(fast=fast, seed=seed)
+
+    return build
+
+
+BUILTIN_CAMPAIGNS: dict[str, Callable[..., CampaignSpec]] = {
+    "smoke": _smoke,
+    "paper-core": _paper_core,
+    "fig06": _experiment_campaign("fig06_stream_scaling"),
+    "fig13": _experiment_campaign("fig13_latency_map"),
+    "fig14": _experiment_campaign("fig14_latency_scaling"),
+    "fig15": _experiment_campaign("fig15_load_test"),
+    "fig25": _experiment_campaign("fig25_striping_degradation"),
+    "ext03": _experiment_campaign("ext03_shuffle16"),
+}
+
+
+def builtin_names() -> list[str]:
+    return sorted(BUILTIN_CAMPAIGNS)
+
+
+def builtin_campaign(name: str, fast: bool = True,
+                     seed: int = 0) -> CampaignSpec:
+    try:
+        builder = BUILTIN_CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown built-in campaign {name!r}; known: {builtin_names()}"
+        ) from None
+    return builder(fast=fast, seed=seed)

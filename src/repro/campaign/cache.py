@@ -1,0 +1,131 @@
+"""Content-addressed on-disk cache for sweep-point results.
+
+Every point is a pure function of ``(kind, params)`` -- seeds are
+ordinary parameters -- so its result can be cached under a key derived
+only from content:
+
+    key = sha256(canonical_json({schema, salt, kind, params}))
+
+``salt`` is the code-relevant version tag: bump :data:`CACHE_SALT`
+whenever a point runner's semantics change and every stale entry
+silently becomes a miss.  Entries live one file per key, sharded by
+the first two hex digits (``<root>/ab/abcdef...json``), written via
+atomic rename so concurrent writers (the ``--jobs`` pool, overlapping
+campaigns) can only ever race to install identical bytes.
+
+Loads are paranoid: an entry that fails to parse, whose stored key or
+params disagree with the requested ones, or whose result digest does
+not match the stored result is treated as a miss and recomputed --
+a corrupted cache can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.campaign.spec import canonical_json
+
+__all__ = ["CACHE_SALT", "ResultCache", "point_key"]
+
+#: Bump when any point runner changes meaning; old entries then miss.
+CACHE_SALT = "gs1280-campaign-v1"
+
+#: Entry file layout version (distinct from the key schema: changing it
+#: invalidates *storage*, changing the salt invalidates *results*).
+ENTRY_SCHEMA = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def point_key(kind: str, params: Mapping[str, Any],
+              salt: str = CACHE_SALT) -> str:
+    """The content hash a point's result is stored under."""
+    return _sha256(canonical_json(
+        {"schema": ENTRY_SCHEMA, "salt": salt, "kind": kind,
+         "params": dict(params)}
+    ))
+
+
+class ResultCache:
+    """One cache directory; safe to share between processes."""
+
+    def __init__(self, root: str | Path, salt: str = CACHE_SALT) -> None:
+        self.root = Path(root)
+        self.salt = salt
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def key(self, kind: str, params: Mapping[str, Any]) -> str:
+        return point_key(kind, params, salt=self.salt)
+
+    def load(self, key: str, kind: str,
+             params: Mapping[str, Any]) -> dict | None:
+        """The validated entry for ``key``, or ``None`` on miss.
+
+        Returns the full entry dict (``result`` plus ``elapsed_s``).
+        Anything suspicious -- unreadable file, wrong key, params or
+        digest mismatch -- is a miss, never an exception.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        try:
+            ok = (
+                entry["schema"] == ENTRY_SCHEMA
+                and entry["key"] == key
+                and entry["kind"] == kind
+                and canonical_json(entry["params"])
+                == canonical_json(dict(params))
+                and _sha256(canonical_json(entry["result"]))
+                == entry["digest"]
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        return entry if ok else None
+
+    def store(self, key: str, kind: str, params: Mapping[str, Any],
+              result: Any, elapsed_s: float) -> dict:
+        """Write the entry atomically; idempotent for identical content."""
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "salt": self.salt,
+            "kind": kind,
+            "params": dict(params),
+            "result": result,
+            "digest": _sha256(canonical_json(result)),
+            "elapsed_s": elapsed_s,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return entry
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

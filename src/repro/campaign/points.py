@@ -1,0 +1,178 @@
+"""The point-kind registry: named pure functions a sweep can grid over.
+
+Each runner takes one JSON-safe parameter dict and returns a JSON-safe
+result dict.  Runners must be **pure** in the caching sense: the same
+params always produce the same result (all randomness flows through an
+explicit ``seed`` parameter), because results are stored in the
+content-addressed cache and replayed without re-execution.  When a
+runner's semantics change, bump :data:`repro.campaign.cache.CACHE_SALT`.
+
+Kinds:
+
+``stream``
+    Analytic STREAM bandwidth: ``{system, cpus, kernel}`` ->
+    ``{gbps}`` (Figure 6).
+``latency_map``
+    Event-driven warm-read map from CPU 0 to every node:
+    ``{system, cpus}`` -> ``{latencies_ns: [...]}`` (Figure 13).
+``latency_avg``
+    Mean of the map over all destinations: ``{system, cpus}`` ->
+    ``{avg_ns}`` (Figures 12/14).
+``load_test``
+    One interconnect load-test point: ``{system, cpus, outstanding,
+    seed, warmup_ns, window_ns, shuffle?, striped?, failed_links?}``
+    -> ``{bandwidth_mbps, latency_ns, completed}`` (Figures 15/18,
+    ext03).
+``striping``
+    Per-benchmark striping slowdown: ``{benchmark, cpus}`` ->
+    ``{degradation}`` (Figure 25).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+__all__ = ["POINT_KINDS", "point_kinds", "run_point"]
+
+
+def _machine_config(system: str, cpus: int):
+    from repro.config import (
+        ES45Config,
+        GS320Config,
+        GS1280Config,
+        SC45Config,
+    )
+
+    configs = {
+        "GS1280": GS1280Config,
+        "GS320": GS320Config,
+        "ES45": ES45Config,
+        "SC45": SC45Config,
+    }
+    try:
+        return configs[system].build(cpus)
+    except KeyError:
+        raise ValueError(
+            f"unknown system {system!r}; known: {sorted(configs)}"
+        ) from None
+
+
+def _system_factory(params: Mapping[str, Any]) -> Callable[[], Any]:
+    """A zero-argument machine builder honouring the fabric knobs."""
+    system = params["system"]
+    cpus = int(params["cpus"])
+    if system == "GS1280":
+        from repro.systems import GS1280System
+
+        shuffle = bool(params.get("shuffle", False))
+        striped = bool(params.get("striped", False))
+        failed = [tuple(link) for link in params.get("failed_links", [])]
+
+        def build():
+            return GS1280System(
+                cpus, shuffle=shuffle, striped=striped,
+                failed_links=failed or None,
+            )
+
+        return build
+    if system == "GS320":
+        from repro.systems import GS320System
+
+        for knob in ("shuffle", "striped", "failed_links"):
+            if params.get(knob):
+                raise ValueError(f"{knob!r} only applies to GS1280 points")
+        return lambda: GS320System(cpus)
+    raise ValueError(
+        f"system {system!r} has no event-driven model; use GS1280 or GS320"
+    )
+
+
+def _run_stream(params: Mapping[str, Any]) -> dict:
+    from repro.workloads.stream import stream_bandwidth_gbps
+
+    machine = _machine_config(params["system"], int(params["cpus"]))
+    kernel = params.get("kernel", "triad")
+    return {
+        "gbps": stream_bandwidth_gbps(machine, int(params["cpus"]), kernel)
+    }
+
+
+def _run_latency_map(params: Mapping[str, Any]) -> dict:
+    from repro.analysis.latency import latency_map
+
+    cpus = int(params["cpus"])
+    return {
+        "latencies_ns": latency_map(_system_factory(params), cpus)
+    }
+
+
+def _run_latency_avg(params: Mapping[str, Any]) -> dict:
+    from repro.analysis.latency import average_latency
+
+    cpus = int(params["cpus"])
+    return {"avg_ns": average_latency(_system_factory(params), cpus)}
+
+
+def _run_load_test(params: Mapping[str, Any]) -> dict:
+    from repro.workloads.loadtest import run_load_test
+
+    curve = run_load_test(
+        _system_factory(params),
+        (int(params["outstanding"]),),
+        seed=int(params.get("seed", 0)),
+        warmup_ns=float(params.get("warmup_ns", 4000.0)),
+        window_ns=float(params.get("window_ns", 12000.0)),
+    )
+    point = curve.points[0]
+    return {
+        "bandwidth_mbps": point.bandwidth_mbps,
+        "latency_ns": point.latency_ns,
+        "completed": point.completed,
+    }
+
+
+def _run_striping(params: Mapping[str, Any]) -> dict:
+    from repro.analysis.rates import (
+        per_copy_performance,
+        striped_performance,
+    )
+    from repro.config import GS1280Config
+    from repro.workloads.spec import SPECFP2000
+
+    cpus = int(params.get("cpus", 16))
+    by_name = {bench.name: bench for bench in SPECFP2000}
+    try:
+        bench = by_name[params["benchmark"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown SPECfp2000 benchmark {params['benchmark']!r}; "
+            f"known: {sorted(by_name)}"
+        ) from None
+    machine = GS1280Config.build(cpus)
+    base = per_copy_performance(machine, bench.character, cpus)
+    striped = striped_performance(machine, bench.character, cpus)
+    return {"degradation": max(0.0, 1.0 - striped / base)}
+
+
+POINT_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
+    "stream": _run_stream,
+    "latency_map": _run_latency_map,
+    "latency_avg": _run_latency_avg,
+    "load_test": _run_load_test,
+    "striping": _run_striping,
+}
+
+
+def point_kinds() -> list[str]:
+    return sorted(POINT_KINDS)
+
+
+def run_point(kind: str, params: Mapping[str, Any]) -> dict:
+    """Execute one point; the only entry the engine (or a test) uses."""
+    try:
+        runner = POINT_KINDS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown point kind {kind!r}; known: {point_kinds()}"
+        ) from None
+    return runner(params)

@@ -1,0 +1,193 @@
+"""Declarative sweep specifications.
+
+A campaign is a named set of sweeps; a sweep is one point kind (a
+registered runner from :mod:`repro.campaign.points`) plus ``base``
+parameters shared by every point and a ``grid`` of axes to take the
+cartesian product over.  Expansion order is deterministic: sweeps in
+declaration order, axes in declaration order with the last axis
+varying fastest -- so a campaign's point list (and everything derived
+from it: cache keys, exports, summaries) is a pure function of the
+spec.
+
+Specs round-trip through JSON so they can live in files::
+
+    {
+      "name": "shuffle-study",
+      "sweeps": [
+        {"name": "torus", "kind": "load_test",
+         "base": {"system": "GS1280", "cpus": 16, "seed": 0,
+                  "warmup_ns": 3000.0, "window_ns": 8000.0},
+         "grid": {"shuffle": [false, true],
+                  "outstanding": [1, 4, 8, 16, 30]}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "CampaignSpec",
+    "SweepSpec",
+    "canonical_json",
+    "load_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+]
+
+
+def canonical_json(value: Any) -> str:
+    """The one canonical serialization used for hashing and equality.
+
+    Sorted keys, no whitespace, ASCII only, and ``allow_nan=False`` so
+    a NaN parameter fails loudly instead of producing a key that never
+    matches itself.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def _check_json_safe(label: str, value: Any) -> None:
+    try:
+        canonical_json(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{label} is not JSON-canonicalizable: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One parameter grid over one point kind."""
+
+    name: str
+    kind: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        overlap = set(self.base) & set(self.grid)
+        if overlap:
+            raise ValueError(
+                f"sweep {self.name!r}: axes {sorted(overlap)} shadow base "
+                "parameters; a parameter is either fixed or swept, not both"
+            )
+        for axis, values in self.grid.items():
+            if isinstance(values, (str, bytes)) or not isinstance(
+                values, Sequence
+            ):
+                raise ValueError(
+                    f"sweep {self.name!r}: axis {axis!r} must be a list of "
+                    f"values, got {type(values).__name__}"
+                )
+            if len(values) == 0:
+                raise ValueError(
+                    f"sweep {self.name!r}: axis {axis!r} is empty"
+                )
+        _check_json_safe(f"sweep {self.name!r} base", dict(self.base))
+        _check_json_safe(
+            f"sweep {self.name!r} grid",
+            {k: list(v) for k, v in self.grid.items()},
+        )
+
+    @property
+    def n_points(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n
+
+    def expand(self) -> Iterator[dict[str, Any]]:
+        """Parameter dicts in deterministic order (last axis fastest)."""
+        axes = list(self.grid)
+        if not axes:
+            yield dict(self.base)
+            return
+        for combo in itertools.product(*(self.grid[a] for a in axes)):
+            params = dict(self.base)
+            params.update(zip(axes, combo))
+            yield params
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered collection of sweeps."""
+
+    name: str
+    sweeps: tuple[SweepSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.sweeps:
+            raise ValueError(f"campaign {self.name!r} has no sweeps")
+        names = [s.name for s in self.sweeps]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(
+                f"campaign {self.name!r}: duplicate sweep names {dupes}"
+            )
+
+    @property
+    def n_points(self) -> int:
+        return sum(s.n_points for s in self.sweeps)
+
+    def sweep(self, name: str) -> SweepSpec:
+        for s in self.sweeps:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"no sweep {name!r} in campaign {self.name!r}; "
+            f"have {[s.name for s in self.sweeps]}"
+        )
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    return {
+        "name": spec.name,
+        "description": spec.description,
+        "sweeps": [
+            {
+                "name": s.name,
+                "kind": s.kind,
+                "base": dict(s.base),
+                "grid": {k: list(v) for k, v in s.grid.items()},
+            }
+            for s in spec.sweeps
+        ],
+    }
+
+
+def spec_from_dict(doc: Mapping[str, Any]) -> CampaignSpec:
+    try:
+        raw_sweeps = doc["sweeps"]
+        name = doc["name"]
+    except KeyError as exc:
+        raise ValueError(f"campaign spec is missing key {exc}") from None
+    sweeps = tuple(
+        SweepSpec(
+            name=s["name"],
+            kind=s["kind"],
+            base=dict(s.get("base", {})),
+            grid={k: list(v) for k, v in s.get("grid", {}).items()},
+        )
+        for s in raw_sweeps
+    )
+    return CampaignSpec(
+        name=name, sweeps=sweeps, description=doc.get("description", "")
+    )
+
+
+def load_spec(path: str | Path) -> CampaignSpec:
+    """Read a campaign spec from a JSON file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return spec_from_dict(doc)

@@ -5,45 +5,69 @@ extrapolates larger shapes analytically (Table 1).  With the simulator
 we can *measure* the 16P (4x4) twisted-wraparound shuffle the paper
 never built: the load test quantifies how much of Table 1's predicted
 average-latency gain materializes under real traffic.
+
+The torus-vs-shuffle grid is a :mod:`repro.campaign` spec with
+``shuffle`` as an ordinary sweep axis.
 """
 
 from __future__ import annotations
 
 from repro.analysis.shuffle import shuffle_gains
+from repro.campaign import CampaignSpec, SweepSpec, run_campaign
 from repro.config import TorusShape
 from repro.experiments.base import ExperimentResult
-from repro.systems import GS1280System
-from repro.workloads.loadtest import run_load_test
 
-__all__ = ["run"]
+__all__ = ["run", "campaign_spec"]
+
+
+def _grid(fast: bool) -> tuple[list[int], float]:
+    outstanding = [1, 8, 30] if fast else list(range(2, 31, 2))
+    window = 6000.0 if fast else 12000.0
+    return outstanding, window
+
+
+def campaign_spec(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    outstanding, window = _grid(fast)
+    return CampaignSpec(
+        name="ext03",
+        description="measured 16P (4x4) shuffle vs torus load test",
+        sweeps=(
+            SweepSpec(
+                name="loadtest",
+                kind="load_test",
+                base={
+                    "system": "GS1280", "cpus": 16, "seed": seed,
+                    "warmup_ns": 3000.0, "window_ns": window,
+                },
+                grid={"shuffle": [False, True],
+                      "outstanding": outstanding},
+            ),
+        ),
+    )
 
 
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    outstanding = (1, 8, 30) if fast else tuple(range(2, 31, 2))
-    window = 6000.0 if fast else 12000.0
-    curves = {}
+    outstanding, _window = _grid(fast)
+    campaign = run_campaign(campaign_spec(fast=fast, seed=seed))
+    results = campaign.results_for("loadtest")
+    # Expansion order: shuffle axis first, outstanding fastest.
+    per_label = {
+        "torus": results[: len(outstanding)],
+        "shuffle": results[len(outstanding):],
+    }
     rows = []
-    for label, kwargs in (
-        ("torus", dict(shuffle=False)),
-        ("shuffle", dict(shuffle=True)),
-    ):
-        curve = run_load_test(
-            lambda kwargs=kwargs: GS1280System(16, **kwargs),
-            outstanding, label=label, seed=seed,
-            warmup_ns=3000.0, window_ns=window,
-        )
-        curves[label] = curve
-        for p in curve.points:
-            rows.append([label, p.outstanding, p.bandwidth_mbps, p.latency_ns])
+    for label in ("torus", "shuffle"):
+        for o, r in zip(outstanding, per_label[label]):
+            rows.append([label, o, r["bandwidth_mbps"], r["latency_ns"]])
     analytic = shuffle_gains(TorusShape(4, 4))
     zero_gain = (
-        curves["torus"].points[0].latency_ns
-        / curves["shuffle"].points[0].latency_ns
+        per_label["torus"][0]["latency_ns"]
+        / per_label["shuffle"][0]["latency_ns"]
         - 1.0
     )
     sat_gain = (
-        curves["shuffle"].saturation_bandwidth_mbps()
-        / curves["torus"].saturation_bandwidth_mbps()
+        max(r["bandwidth_mbps"] for r in per_label["shuffle"])
+        / max(r["bandwidth_mbps"] for r in per_label["torus"])
         - 1.0
     )
     return ExperimentResult(

@@ -1,27 +1,53 @@
-"""Figure 6: McCalpin STREAM Triad bandwidth scaling to 64 CPUs."""
+"""Figure 6: McCalpin STREAM Triad bandwidth scaling to 64 CPUs.
+
+The grid is declared as a :mod:`repro.campaign` spec (one sweep per
+system line, since GS320 stops at 32P) and executed through the sweep
+engine, so ``gs1280-repro sweep fig06`` and this experiment share
+cache entries point-for-point.
+"""
 
 from __future__ import annotations
 
-from repro.config import GS320Config, GS1280Config, SC45Config
+from repro.campaign import CampaignSpec, SweepSpec, run_campaign
 from repro.experiments.base import ExperimentResult
-from repro.workloads.stream import stream_bandwidth_gbps
 
-__all__ = ["run"]
+__all__ = ["run", "campaign_spec"]
 
 CPU_COUNTS = [1, 2, 4, 8, 16, 32, 64]
 
 
+def campaign_spec(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    base = {"kernel": "triad"}
+    return CampaignSpec(
+        name="fig06",
+        description="STREAM Triad bandwidth vs CPU count, three systems",
+        sweeps=(
+            SweepSpec(name="gs1280", kind="stream",
+                      base={**base, "system": "GS1280"},
+                      grid={"cpus": CPU_COUNTS}),
+            SweepSpec(name="gs320", kind="stream",
+                      base={**base, "system": "GS320"},
+                      grid={"cpus": [n for n in CPU_COUNTS if n <= 32]}),
+            SweepSpec(name="sc45", kind="stream",
+                      base={**base, "system": "SC45"},
+                      grid={"cpus": CPU_COUNTS}),
+        ),
+    )
+
+
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    campaign = run_campaign(campaign_spec(fast=fast, seed=seed))
+    gs1280 = campaign.results_for("gs1280")
+    gs320 = campaign.results_for("gs320")
+    sc45 = campaign.results_for("sc45")
     rows = []
-    for n in CPU_COUNTS:
-        gs1280 = stream_bandwidth_gbps(GS1280Config.build(n), n)
-        gs320 = (
-            stream_bandwidth_gbps(GS320Config.build(min(n, 32)), min(n, 32))
-            if n <= 32
-            else None
-        )
-        sc45 = stream_bandwidth_gbps(SC45Config.build(n), n)
-        rows.append([n, gs1280, gs320, sc45])
+    for i, n in enumerate(CPU_COUNTS):
+        rows.append([
+            n,
+            gs1280[i]["gbps"],
+            gs320[i]["gbps"] if n <= 32 else None,
+            sc45[i]["gbps"],
+        ])
     last = rows[-1]
     return ExperimentResult(
         exp_id="fig06",

@@ -3,24 +3,40 @@
 Each square is one CPU of the 16P machine; the value is the warm
 dependent-load latency from node 0.  The spread within a hop count
 comes from the physical link classes (module/backplane/cable).
+
+The (trivial, one-point) grid is declared as a :mod:`repro.campaign`
+spec so the map participates in sweep caching like every other
+multi-point experiment.
 """
 
 from __future__ import annotations
 
-from repro.analysis.latency import PAPER_FIG13_MAP, latency_map
+from repro.analysis.latency import PAPER_FIG13_MAP
+from repro.campaign import CampaignSpec, SweepSpec, run_campaign
 from repro.config import torus_shape_for
 from repro.experiments.base import ExperimentResult
 from repro.network import geometry
-from repro.systems import GS1280System
 from repro.xmesh import render_mesh
 
-__all__ = ["run"]
+__all__ = ["run", "campaign_spec"]
+
+
+def campaign_spec(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="fig13",
+        description="GS1280 16P warm remote-latency map",
+        sweeps=(
+            SweepSpec(name="map", kind="latency_map",
+                      base={"system": "GS1280"}, grid={"cpus": [16]}),
+        ),
+    )
 
 
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     n = 16
     shape = torus_shape_for(n)
-    model = latency_map(lambda: GS1280System(n), n)
+    campaign = run_campaign(campaign_spec(fast=fast, seed=seed))
+    model = campaign.results_for("map")[0]["latencies_ns"]
     rows = []
     for dst in range(n):
         col, row = geometry.coords_of(shape, dst)

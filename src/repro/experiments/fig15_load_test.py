@@ -4,43 +4,70 @@ Every CPU reads from random other CPUs with 1..30 outstanding loads.
 GS1280 reaches an order of magnitude more bandwidth with far smaller
 latency growth; past saturation its delivered bandwidth droops slightly
 (the paper's "interesting phenomenon").
+
+The (system, cpus) x outstanding grid is declared as a
+:mod:`repro.campaign` spec -- every outstanding level is an independent
+simulation (fresh machine, fresh seeded pickers), so the sweep engine
+caches and fans them out point by point.
 """
 
 from __future__ import annotations
 
+from repro.campaign import CampaignSpec, SweepSpec, run_campaign
 from repro.experiments.base import ExperimentResult
-from repro.systems import GS320System, GS1280System
-from repro.workloads.loadtest import run_load_test
 
-__all__ = ["run"]
+__all__ = ["run", "campaign_spec"]
+
+_FAST_SYSTEMS = (("GS1280", 16), ("GS1280", 32), ("GS320", 16), ("GS320", 32))
+_FULL_SYSTEMS = (("GS1280", 16), ("GS1280", 32), ("GS1280", 64),
+                 ("GS320", 16), ("GS320", 32))
+
+
+def _label(system: str, cpus: int) -> str:
+    return f"{system}/{cpus}P"
+
+
+def campaign_spec(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    if fast:
+        outstanding = [1, 4, 8, 16, 30]
+        systems = _FAST_SYSTEMS
+        window, warmup = 8000.0, 3000.0
+    else:
+        outstanding = list(range(1, 31))
+        systems = _FULL_SYSTEMS
+        window, warmup = 12000.0, 4000.0
+    sweeps = tuple(
+        SweepSpec(
+            name=_label(system, cpus),
+            kind="load_test",
+            base={
+                "system": system, "cpus": cpus, "seed": seed,
+                "warmup_ns": warmup, "window_ns": window,
+            },
+            grid={"outstanding": outstanding},
+        )
+        for system, cpus in systems
+    )
+    return CampaignSpec(
+        name="fig15",
+        description="load test: latency vs delivered bandwidth",
+        sweeps=sweeps,
+    )
 
 
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    if fast:
-        outstanding = (1, 4, 8, 16, 30)
-        configs = [("GS1280/16P", lambda: GS1280System(16)),
-                   ("GS1280/32P", lambda: GS1280System(32)),
-                   ("GS320/16P", lambda: GS320System(16)),
-                   ("GS320/32P", lambda: GS320System(32))]
-        window, warmup = 8000.0, 3000.0
-    else:
-        outstanding = tuple(range(1, 31))
-        configs = [("GS1280/16P", lambda: GS1280System(16)),
-                   ("GS1280/32P", lambda: GS1280System(32)),
-                   ("GS1280/64P", lambda: GS1280System(64)),
-                   ("GS320/16P", lambda: GS320System(16)),
-                   ("GS320/32P", lambda: GS320System(32))]
-        window, warmup = 12000.0, 4000.0
+    spec = campaign_spec(fast=fast, seed=seed)
+    campaign = run_campaign(spec)
     rows = []
     saturation = {}
-    for label, factory in configs:
-        curve = run_load_test(
-            factory, outstanding, label=label, seed=seed,
-            warmup_ns=warmup, window_ns=window,
-        )
-        saturation[label] = curve.saturation_bandwidth_mbps()
-        for p in curve.points:
-            rows.append([label, p.outstanding, p.bandwidth_mbps, p.latency_ns])
+    for sweep in spec.sweeps:
+        results = campaign.results_for(sweep.name)
+        saturation[sweep.name] = max(r["bandwidth_mbps"] for r in results)
+        for params, r in zip(sweep.expand(), results):
+            rows.append([
+                sweep.name, params["outstanding"],
+                r["bandwidth_mbps"], r["latency_ns"],
+            ])
     ratio = saturation["GS1280/32P"] / saturation["GS320/32P"]
     return ExperimentResult(
         exp_id="fig15",

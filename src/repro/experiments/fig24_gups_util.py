@@ -44,8 +44,11 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     zbox = 100 * sum(monitor.mean_zbox_utilization()) / n
     rows = []
     for i, s in enumerate(monitor.samples):
-        e = 100 * (s.links_by_direction.get("E", 0) + s.links_by_direction.get("W", 0)) / 2
-        v = 100 * (s.links_by_direction.get("N", 0) + s.links_by_direction.get("S", 0)) / 2
+        east_west = s.links_by_direction.get("E", 0) + s.links_by_direction.get("W", 0)
+        north_south = (s.links_by_direction.get("N", 0)
+                       + s.links_by_direction.get("S", 0))
+        e = 100 * east_west / 2
+        v = 100 * north_south / 2
         rows.append([i, 100 * s.mean_zbox(), v, e])
     chart = render_timeseries(
         {

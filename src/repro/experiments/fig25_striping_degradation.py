@@ -3,20 +3,38 @@
 Striping sends half of every copy's "local" fills across the module
 link: the memory-bandwidth-bound benchmarks lose the most (the paper
 reports 10-30 % degradation, and as much as 70 % in extreme cases).
+
+The per-benchmark grid is declared as a :mod:`repro.campaign` spec
+(one ``striping`` point per SPECfp2000 benchmark).
 """
 
 from __future__ import annotations
 
-from repro.analysis.rates import striping_degradation
+from repro.campaign import CampaignSpec, SweepSpec, run_campaign
 from repro.experiments.base import ExperimentResult
+from repro.workloads.spec import SPECFP2000
 
-__all__ = ["run"]
+__all__ = ["run", "campaign_spec"]
+
+
+def campaign_spec(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="fig25",
+        description="per-benchmark slowdown from two-CPU memory striping",
+        sweeps=(
+            SweepSpec(
+                name="specfp", kind="striping", base={"cpus": 16},
+                grid={"benchmark": [bench.name for bench in SPECFP2000]},
+            ),
+        ),
+    )
 
 
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    campaign = run_campaign(campaign_spec(fast=fast, seed=seed))
     rows = [
-        [name, 100.0 * degradation]
-        for name, degradation in striping_degradation()
+        [bench.name, 100.0 * r["degradation"]]
+        for bench, r in zip(SPECFP2000, campaign.results_for("specfp"))
     ]
     worst = max(rows, key=lambda r: r[1])
     mean = sum(r[1] for r in rows) / len(rows)

@@ -7,6 +7,8 @@ Usage::
     gs1280-repro trace fig15 [-o fig15.trace.json] [--counters-out c.json]
     gs1280-repro all [--full] [--jobs N]
     gs1280-repro export results.json [--full] [--jobs N]
+    gs1280-repro sweep <spec.json|builtin> [--jobs N] [--cache-dir D]
+                 [--resume] [--fresh] [--export out.json|out.csv]
     gs1280-repro fuzz --seeds 100 [--fast] [--replay '<json>']
     gs1280-repro oracle [--full] [--jobs N]
 
@@ -20,6 +22,13 @@ the experiment under a live telemetry session: every machine it builds
 is instrumented, and the packet/transaction trace exports as Chrome
 ``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto) next to
 a full counter report.
+
+``sweep`` expands a declarative parameter grid (a built-in campaign
+name or a spec JSON file, see :mod:`repro.campaign`) into independent
+points, executes only the points missing from the content-addressed
+result cache, and can export the assembled grid as JSON or CSV.
+Campaigns are resumable by construction -- each point is persisted the
+moment it completes -- so an interrupted run costs nothing.
 
 ``fuzz`` sweeps seeded random machines x workloads with the
 :mod:`repro.check` invariant checkers armed, shrinks any failure to a
@@ -89,6 +98,45 @@ def _run_traced(args) -> int:
     return 0
 
 
+def _run_sweep(args) -> int:
+    """``sweep``: run a campaign spec through the cached sweep engine."""
+    import os
+
+    from repro.analysis.campaign import format_campaign
+    from repro.campaign import (
+        builtin_campaign,
+        builtin_names,
+        load_spec,
+        run_campaign,
+        write_export,
+    )
+
+    if os.path.exists(args.spec):
+        spec = load_spec(args.spec)
+    else:
+        try:
+            spec = builtin_campaign(args.spec, fast=not args.full,
+                                    seed=args.seed)
+        except KeyError:
+            print(f"no spec file or built-in campaign {args.spec!r}; "
+                  f"built-ins: {' '.join(builtin_names())}")
+            return 2
+    result = run_campaign(
+        spec, jobs=args.jobs, cache_dir=args.cache_dir, fresh=args.fresh,
+        log=print,
+    )
+    print(format_campaign(result))
+    if args.export is not None:
+        fmt = write_export(result, args.export)
+        print(f"  [export: {result.n_points} points ({fmt}) -> "
+              f"{args.export}]")
+    if args.expect_cached and result.computed:
+        print(f"  EXPECTED all-cached but computed {result.computed} "
+              "point(s)")
+        return 1
+    return 0
+
+
 def _run_fuzz(args) -> int:
     """``fuzz``: the seeded invariant-checking sweep (or one replay)."""
     from repro.check.fuzz import case_from_json, case_to_json, fuzz, run_case
@@ -121,6 +169,23 @@ def _run_fuzz(args) -> int:
         repro_case = failure.shrunk or failure.case
         print(f"  replay with: gs1280-repro fuzz --replay "
               f"'{case_to_json(repro_case)}'")
+    if args.failures_out is not None:
+        import json
+
+        document = [
+            {
+                "seed": failure.case.seed,
+                "family": failure.family,
+                "error": f"{type(failure.error).__name__}: {failure.error}",
+                "replay": json.loads(
+                    case_to_json(failure.shrunk or failure.case)
+                ),
+            }
+            for failure in failures
+        ]
+        with open(args.failures_out, "w") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"\n  [shrunk replays -> {args.failures_out}]")
     return 1
 
 
@@ -178,6 +243,35 @@ def main(argv: list[str] | None = None) -> int:
     export_p.add_argument("--seed", type=int, default=0)
     export_p.add_argument("--jobs", type=int, default=1,
                           help="worker processes (default 1 = serial)")
+    sweep_p = sub.add_parser(
+        "sweep", help="run a declarative parameter-grid campaign with "
+        "content-addressed result caching")
+    sweep_p.add_argument("spec",
+                         help="path to a campaign spec JSON, or a "
+                         "built-in campaign name (see repro.campaign)")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for uncached points")
+    sweep_p.add_argument("--cache-dir", metavar="DIR",
+                         default=".gs1280-cache",
+                         help="result cache directory "
+                         "(default .gs1280-cache)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume an interrupted campaign (this is "
+                         "the default behaviour: completed points are "
+                         "already cached; the flag documents intent)")
+    sweep_p.add_argument("--fresh", action="store_true",
+                         help="ignore cached results and recompute "
+                         "every point (entries are rewritten)")
+    sweep_p.add_argument("--export", metavar="PATH",
+                         help="write the assembled grid to PATH "
+                         "(.csv for CSV, anything else JSON)")
+    sweep_p.add_argument("--expect-cached", action="store_true",
+                         help="exit non-zero if any point had to be "
+                         "computed (CI cache check)")
+    sweep_p.add_argument("--full", action="store_true",
+                         help="full-fidelity grids for built-ins")
+    sweep_p.add_argument("--seed", type=int, default=0,
+                         help="seed forwarded to built-in campaigns")
     fuzz_p = sub.add_parser(
         "fuzz", help="sweep random machines x workloads with invariant "
         "checkers armed")
@@ -191,6 +285,9 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_p.add_argument("--replay", metavar="JSON",
                         help="re-run one case from its repro JSON "
                         "instead of sweeping")
+    fuzz_p.add_argument("--failures-out", metavar="PATH",
+                        help="on failure, write the shrunk replay "
+                        "cases to PATH as JSON (CI artifact)")
     oracle_p = sub.add_parser(
         "oracle", help="differential self-checks: analytic vs "
         "event-driven, jobs and telemetry identity")
@@ -210,6 +307,8 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id in experiment_ids():
             print(exp_id)
         return 0
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "oracle":

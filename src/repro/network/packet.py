@@ -88,4 +88,5 @@ class Packet:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         name = MessageClass.NAMES.get(self.msg_class, "?")
-        return f"<Packet {name} {self.src}->{self.dst} {self.size_bytes}B hops={self.hops}>"
+        return (f"<Packet {name} {self.src}->{self.dst} "
+                f"{self.size_bytes}B hops={self.hops}>")

@@ -165,7 +165,8 @@ class Topology:
         return self._dist_base[a][b]
 
     def minimal_next_hops(
-        self, src: int, dst: int, max_shuffle_hops: int | None = None, hops_taken: int = 0
+        self, src: int, dst: int, max_shuffle_hops: int | None = None,
+        hops_taken: int = 0,
     ) -> list[int]:
         """Neighbors of ``src`` on a minimal path to ``dst``.
 

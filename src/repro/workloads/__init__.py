@@ -92,5 +92,6 @@ __all__ = [
     "speccomp_score",
     "stream_bandwidth_gbps",
     "stream_scaling_curve",
+    "stride_surface",
     "utilization_timeseries",
 ]

@@ -30,7 +30,7 @@ from repro.config import (
     SC45Config,
 )
 from repro.workloads.phased import ComputePhase, ExchangePhase, MemoryPhase
-from repro.workloads.stream import single_cpu_bandwidth_gbps, stream_bandwidth_gbps
+from repro.workloads.stream import stream_bandwidth_gbps
 
 __all__ = ["SpModel", "SpPoint", "sp_profile_phases"]
 

@@ -124,7 +124,9 @@ def run_transactions(
                     if rng.random() < mix.dirty_fraction:
                         # A line some peer owns dirty.
                         peer = int(rng.integers(0, n))
-                        line = (n + peer + 2 * n * int(rng.integers(0, 16))) % shared_lines
+                        line = (
+                            n + peer + 2 * n * int(rng.integers(0, 16))
+                        ) % shared_lines
                     else:
                         line = int(rng.integers(0, shared_lines // 2)) * 2
                     address, home = shared_address(line)

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.systems.base import SystemBase
-from repro.workloads.closed_loop import run_closed_loop
 
 __all__ = ["StreamSimResult", "run_stream_sim"]
 
