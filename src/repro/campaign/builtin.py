@@ -90,6 +90,7 @@ BUILTIN_CAMPAIGNS: dict[str, Callable[..., CampaignSpec]] = {
     "fig15": _experiment_campaign("fig15_load_test"),
     "fig25": _experiment_campaign("fig25_striping_degradation"),
     "ext03": _experiment_campaign("ext03_shuffle16"),
+    "ext04": _experiment_campaign("ext04_failover"),
 }
 
 

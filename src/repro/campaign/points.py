@@ -20,12 +20,14 @@ Kinds:
     ``{avg_ns}`` (Figures 12/14).
 ``load_test``
     One interconnect load-test point: ``{system, cpus, outstanding,
-    seed, warmup_ns, window_ns, shuffle?, striped?, failed_links?}``
-    -> ``{bandwidth_mbps, latency_ns, completed}`` (Figures 15/18,
-    ext03).
-``striping``
-    Per-benchmark striping slowdown: ``{benchmark, cpus}`` ->
-    ``{degradation}`` (Figure 25).
+    seed, warmup_ns, window_ns, shuffle?, striped?, failed_links?,
+    retry?, fault_schedule?}`` -> ``{bandwidth_mbps, latency_ns,
+    completed}`` (Figures 15/18, ext03).
+``failover``
+    One continuous windowed failover run with a mid-run fault schedule
+    armed: ``{system, cpus, outstanding, seed, warmup_ns, window_ns,
+    n_windows, fault_schedule?, retry?}`` -> the per-window series plus
+    drop/retry totals (ext04).
 """
 
 from __future__ import annotations
@@ -67,18 +69,30 @@ def _system_factory(params: Mapping[str, Any]) -> Callable[[], Any]:
         shuffle = bool(params.get("shuffle", False))
         striped = bool(params.get("striped", False))
         failed = [tuple(link) for link in params.get("failed_links", [])]
+        retry = params.get("retry")
+        if retry is not None:
+            from repro.coherence.retry import RetryPolicy
+
+            retry = RetryPolicy.from_dict(retry)
+        schedule = params.get("fault_schedule")
+        if schedule is not None:
+            from repro.faults import schedule_from_params
+
+            schedule = schedule_from_params(schedule)
 
         def build():
             return GS1280System(
                 cpus, shuffle=shuffle, striped=striped,
                 failed_links=failed or None,
+                retry=retry, fault_schedule=schedule,
             )
 
         return build
     if system == "GS320":
         from repro.systems import GS320System
 
-        for knob in ("shuffle", "striped", "failed_links"):
+        for knob in ("shuffle", "striped", "failed_links", "retry",
+                     "fault_schedule"):
             if params.get(knob):
                 raise ValueError(f"{knob!r} only applies to GS1280 points")
         return lambda: GS320System(cpus)
@@ -131,6 +145,47 @@ def _run_load_test(params: Mapping[str, Any]) -> dict:
     }
 
 
+def _run_failover(params: Mapping[str, Any]) -> dict:
+    from repro.sim import RngFactory
+    from repro.workloads.failover import run_failover
+    from repro.workloads.loadtest import make_random_remote_picker
+
+    cpus = int(params["cpus"])
+    system = _system_factory(params)()
+    rng_factory = RngFactory(int(params.get("seed", 0)))
+    pickers = [
+        make_random_remote_picker(rng_factory, cpu, cpus)
+        for cpu in range(cpus)
+    ]
+    result = run_failover(
+        system,
+        pickers,
+        outstanding=int(params["outstanding"]),
+        warmup_ns=float(params.get("warmup_ns", 4000.0)),
+        window_ns=float(params.get("window_ns", 3000.0)),
+        n_windows=int(params.get("n_windows", 8)),
+    )
+    return {
+        "windows": [
+            {
+                "index": w.index,
+                "t_start_ns": w.t_start_ns,
+                "t_end_ns": w.t_end_ns,
+                "completed": w.completed,
+                "latency_ns": w.latency_ns,
+                "bandwidth_mbps": w.bandwidth_mbps,
+            }
+            for w in result.windows
+        ],
+        "packets_dropped": result.packets_dropped,
+        "retries": result.retries,
+        "timeouts": result.timeouts,
+        "orphan_responses": result.orphan_responses,
+        "faults_fired": result.faults_fired,
+        "faults_skipped": result.faults_skipped,
+    }
+
+
 def _run_striping(params: Mapping[str, Any]) -> dict:
     from repro.analysis.rates import (
         per_copy_performance,
@@ -158,6 +213,7 @@ POINT_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
     "stream": _run_stream,
     "latency_map": _run_latency_map,
     "latency_avg": _run_latency_avg,
+    "failover": _run_failover,
     "load_test": _run_load_test,
     "striping": _run_striping,
 }

@@ -64,6 +64,10 @@ class FuzzCase:
     victim_frac: float = 0.1
     remote_frac: float = 0.8
     burst_ns: float = 1500.0
+    # -- mid-run faults (gs1280 only; ``--faults``) --
+    # (at_ns, kind, a, b, duration_ns, drop_packets) per event.
+    fault_events: tuple[tuple[float, str, int, int, float, bool], ...] = ()
+    retry_timeout_ns: float = 0.0  # 0 = no retry policy armed
 
     @property
     def nodes(self) -> int:
@@ -88,9 +92,13 @@ class FuzzFailure:
 # ---------------------------------------------------------------------------
 # case generation
 # ---------------------------------------------------------------------------
-def random_case(seed: int, fast: bool = False) -> FuzzCase:
+def random_case(seed: int, fast: bool = False,
+                faults: bool = False) -> FuzzCase:
     """The deterministic case for ``seed`` (string-seeded so it is
-    stable across Python versions and processes)."""
+    stable across Python versions and processes).  With ``faults`` the
+    gs1280 cases also draw a mid-run fault schedule (link kills, router
+    stalls, Zbox channel failures) plus a retry policy to heal the
+    dropped packets."""
     rng = random.Random(f"gs1280-fuzz-{seed}")
     lo, hi = (12, 40) if fast else (40, 120)
     workload = dict(
@@ -110,6 +118,19 @@ def random_case(seed: int, fast: bool = False) -> FuzzCase:
     shuffle = shuffle_legal and rng.random() < 0.35
     max_shuffle_hops = rng.choice((None, 1, 2)) if shuffle else None
     failed = _random_failures(rng, cols, rows, shuffle)
+    fault_events: tuple = ()
+    retry_timeout_ns = 0.0
+    if faults:
+        fault_events = _random_fault_events(
+            rng, cols, rows, shuffle, failed, workload["burst_ns"]
+        )
+        if fault_events:
+            # A dropped packet is only recoverable through the retry
+            # path, and a dropped victim writeback is not recoverable at
+            # all (nothing retries it) -- so arm a generous retry budget
+            # and keep victims out of fault workloads.
+            retry_timeout_ns = rng.uniform(1500.0, 5000.0)
+            workload["victim_frac"] = 0.0
     return FuzzCase(
         seed=seed,
         machine="gs1280",
@@ -120,6 +141,8 @@ def random_case(seed: int, fast: bool = False) -> FuzzCase:
         adaptive=rng.random() < 0.85,
         striped=rows >= 2 and rng.random() < 0.3,
         failed_links=failed,
+        fault_events=fault_events,
+        retry_timeout_ns=retry_timeout_ns,
         **workload,
     )
 
@@ -149,6 +172,63 @@ def _random_failures(rng: random.Random, cols: int, rows: int,
     return tuple(failed)
 
 
+def _random_fault_events(
+    rng: random.Random, cols: int, rows: int, shuffle: bool,
+    pre_failed: tuple[tuple[int, int], ...], burst_ns: float,
+) -> tuple[tuple[float, str, int, int, float, bool], ...]:
+    """Draw up to three mid-run fault events for a gs1280 case.
+
+    Candidate link kills are validated *cumulatively* on a scratch
+    topology that already carries the boot-time failures, ignoring the
+    transient repairs -- conservative, so no drawn schedule can ever
+    disconnect the torus even if every failure overlaps in time."""
+    from repro.config import TorusShape
+    from repro.network import build_gs1280_topology
+
+    n_events = rng.choice((0, 1, 1, 2, 3))
+    if not n_events:
+        return ()
+    n_nodes = cols * rows
+    topo = build_gs1280_topology(TorusShape(cols, rows), shuffle=shuffle)
+    for a, b in pre_failed:
+        topo.fail_link(a, b)
+    events: list[tuple[float, str, int, int, float, bool]] = []
+    for _ in range(n_events):
+        at_ns = rng.uniform(0.0, burst_ns)
+        roll = rng.random()
+        if roll < 0.5:
+            edges = topo.edges()
+            if not edges:
+                continue
+            a, b, _cls, _sh = rng.choice(edges)
+            try:
+                topo.fail_link(a, b)
+            except ValueError:
+                continue  # would disconnect; skip this candidate
+            duration = rng.uniform(300.0, 1200.0) if rng.random() < 0.4 else 0.0
+            events.append((at_ns, "fail_link", a, b, duration, True))
+        elif roll < 0.8:
+            events.append((at_ns, "stall_router", rng.randrange(n_nodes), 0,
+                           rng.uniform(100.0, 800.0), True))
+        else:
+            duration = rng.uniform(300.0, 1200.0) if rng.random() < 0.5 else 0.0
+            events.append((at_ns, "fail_channel", rng.randrange(n_nodes), 0,
+                           duration, True))
+    return tuple(events)
+
+
+def _fault_schedule(case: FuzzCase):
+    from repro.faults import FaultEvent, FaultSchedule
+
+    return FaultSchedule(
+        events=tuple(
+            FaultEvent(at_ns=at, kind=kind, a=a, b=b,
+                       duration_ns=duration, drop_packets=drop)
+            for at, kind, a, b, duration, drop in case.fault_events
+        ),
+    )
+
+
 # ---------------------------------------------------------------------------
 # execution
 # ---------------------------------------------------------------------------
@@ -161,6 +241,12 @@ def build_system(case: FuzzCase):
     from repro.systems import GS1280System
 
     shape = TorusShape(case.cols, case.rows)
+    retry = None
+    if case.retry_timeout_ns > 0:
+        from repro.coherence.retry import RetryPolicy
+
+        retry = RetryPolicy(timeout_ns=case.retry_timeout_ns,
+                            backoff=2.0, max_retries=6)
     return GS1280System(
         n_cpus=shape.n_nodes,
         config=GS1280Config.build(shape.n_nodes),
@@ -170,6 +256,8 @@ def build_system(case: FuzzCase):
         adaptive=case.adaptive,
         striped=case.striped,
         failed_links=list(case.failed_links),
+        retry=retry,
+        fault_schedule=_fault_schedule(case) if case.fault_events else None,
     )
 
 
@@ -254,6 +342,13 @@ def _shrink_candidates(case: FuzzCase):
     """Reduction moves, most aggressive first.  Every candidate is a
     *valid* case by construction (shape/parity constraints respected),
     so a candidate failure always means the bug persists."""
+    if case.fault_events:
+        yield replace(case, fault_events=())
+        yield replace(case, fault_events=case.fault_events[1:])
+        yield replace(case, fault_events=case.fault_events[:-1])
+    elif case.retry_timeout_ns > 0:
+        # Only drop the retry policy once the faults it heals are gone.
+        yield replace(case, retry_timeout_ns=0.0)
     if case.failed_links:
         yield replace(case, failed_links=())
         yield replace(case, failed_links=case.failed_links[1:])
@@ -272,7 +367,7 @@ def _shrink_candidates(case: FuzzCase):
     if case.machine == "gs320":
         if case.n_cpus > 4:
             yield replace(case, n_cpus=case.n_cpus - 4)
-    elif not case.failed_links and not case.shuffle:
+    elif not case.failed_links and not case.shuffle and not case.fault_events:
         # Shape reductions only once failure coordinates are gone.
         if case.cols > 2:
             yield replace(case, cols=case.cols - 1)
@@ -303,13 +398,13 @@ def shrink(case: FuzzCase, max_attempts: int = 60) -> FuzzCase:
 # the sweep
 # ---------------------------------------------------------------------------
 def fuzz(n_seeds: int, start_seed: int = 0, fast: bool = False,
-         shrink_failures: bool = True,
+         shrink_failures: bool = True, faults: bool = False,
          log: Callable[[str], None] | None = None) -> list[FuzzFailure]:
     """Run ``n_seeds`` deterministic cases; returns one
     :class:`FuzzFailure` (with a shrunk repro) per failing seed."""
     failures: list[FuzzFailure] = []
     for seed in range(start_seed, start_seed + n_seeds):
-        case = random_case(seed, fast=fast)
+        case = random_case(seed, fast=fast, faults=faults)
         error = _failure_of(case)
         if error is None:
             continue
@@ -331,5 +426,9 @@ def case_from_json(text: str) -> FuzzCase:
     data = json.loads(text)
     data["failed_links"] = tuple(
         (int(a), int(b)) for a, b in data.get("failed_links", ())
+    )
+    data["fault_events"] = tuple(
+        (float(at), str(kind), int(a), int(b), float(duration), bool(drop))
+        for at, kind, a, b, duration, drop in data.get("fault_events", ())
     )
     return FuzzCase(**data)

@@ -30,9 +30,16 @@ Checks are grouped into *families* (the ``family`` attribute of every
     class would violate the 21364's per-VC queues).
 ``conservation``
     Packet conservation: every packet injected into a fabric is
-    delivered exactly once, and at every full queue drain
-    injected == delivered with nothing in flight.  The fuzz driver adds
-    transaction liveness on top (no request outstanding after a drain).
+    delivered exactly once -- or explicitly *dropped* exactly once by a
+    dead link (repro.faults) -- and at every full queue drain
+    injected == delivered + dropped with nothing in flight.  The fuzz
+    driver adds transaction liveness on top (no request outstanding
+    after a drain).
+``liveness``
+    Retry-budget liveness (repro.coherence.retry): no coherence request
+    may stay outstanding past its full timeout/retry/backoff budget.
+    With faults in play a dropped packet must degrade latency, never
+    hang the machine.
 ``routing``
     Every forwarded hop makes progress: the chosen neighbor strictly
     reduces the (shuffle or base) BFS distance to the destination --
@@ -89,6 +96,7 @@ class CheckConfig:
     routing: bool = True
     time: bool = True
     zbox: bool = True
+    liveness: bool = True
     #: Upper bound on a Zbox's queued work (ns of reserved bus time
     #: beyond ``now``).  Generous by design: it exists to catch runaway
     #: reservation bugs, not to model admission control.
@@ -99,12 +107,13 @@ class _LinkShadow:
     """Independent bookkeeping for one link: what the checker believes
     the link's O(1) counters should say."""
 
-    __slots__ = ("queued_bytes", "submitted", "started", "last_seq")
+    __slots__ = ("queued_bytes", "submitted", "started", "dropped", "last_seq")
 
     def __init__(self, n_classes: int) -> None:
         self.queued_bytes = 0
         self.submitted = 0
         self.started = 0
+        self.dropped = 0
         #: Last departed sequence number per message class (per-VC FIFO).
         self.last_seq = [-1] * n_classes
 
@@ -127,6 +136,7 @@ class SystemChecker:
         self.in_flight: dict[int, Any] = {}
         self.injected = 0
         self.delivered = 0
+        self.dropped = 0
         self.drains = 0
 
     # ------------------------------------------------------------------
@@ -171,22 +181,35 @@ class SystemChecker:
                        "(or was delivered twice)", packet=repr(packet))
         self.delivered += 1
 
+    def packet_dropped(self, packet: Any) -> None:
+        """A dead link destroyed a packet (repro.faults): it leaves
+        flight accounting as an explicit drop, never silently."""
+        if not self.config.conservation:
+            return
+        self.checks += 1
+        if self.in_flight.pop(id(packet), None) is None:
+            self._fail("conservation",
+                       "dropped a packet that was never injected "
+                       "(or already delivered/dropped)", packet=repr(packet))
+        self.dropped += 1
+
     def at_drain(self, sim: Any) -> None:
         """The event queue is fully drained: nothing may be in flight."""
         if not self.config.conservation:
             return
         self.checks += 1
         self.drains += 1
-        if self.injected != self.delivered + len(self.in_flight):
+        if self.injected != self.delivered + self.dropped + len(self.in_flight):
             self._fail("conservation",
-                       "injected != delivered + in-flight",
+                       "injected != delivered + dropped + in-flight",
                        injected=self.injected, delivered=self.delivered,
-                       in_flight=len(self.in_flight))
+                       dropped=self.dropped, in_flight=len(self.in_flight))
         if self.in_flight:
             lost = [repr(p) for p in list(self.in_flight.values())[:5]]
             self._fail("conservation",
                        "packets still in flight at queue drain",
                        injected=self.injected, delivered=self.delivered,
+                       dropped=self.dropped,
                        lost=lost, lost_count=len(self.in_flight))
 
     # ------------------------------------------------------------------
@@ -208,12 +231,13 @@ class SystemChecker:
                        "with its VC queues",
                        link=f"{link.src}->{link.dst}",
                        counter=queued, actual=actual)
-        if queued != shadow.submitted - shadow.started:
+        if queued != shadow.submitted - shadow.started - shadow.dropped:
             self._fail("credit",
-                       "link credit leak: submitted - started "
+                       "link credit leak: submitted - started - dropped "
                        "disagrees with the queued count",
                        link=f"{link.src}->{link.dst}", counter=queued,
-                       submitted=shadow.submitted, started=shadow.started)
+                       submitted=shadow.submitted, started=shadow.started,
+                       dropped=shadow.dropped)
         if link._queued_bytes != shadow.queued_bytes:
             self._fail("credit",
                        "link queued-bytes counter out of sync",
@@ -246,6 +270,33 @@ class SystemChecker:
                        seq=seq, last_seq=shadow.last_seq[cls])
         shadow.last_seq[cls] = seq
         self._check_link_counters(link, shadow)
+
+    def link_dropped(self, link: Any, packet: Any) -> None:
+        """A dead link discarded a queued packet (repro.faults)."""
+        if not self.config.links:
+            return
+        self.checks += 1
+        shadow = self._shadow(link)
+        shadow.dropped += 1
+        shadow.queued_bytes -= packet.size_bytes
+        self._check_link_counters(link, shadow)
+
+    # ------------------------------------------------------------------
+    # liveness family (repro.coherence.retry)
+    # ------------------------------------------------------------------
+    def retry_exhausted(self, agent: Any, txn: Any, policy: Any) -> None:
+        """A coherence request stayed outstanding past its full
+        timeout/retry/backoff budget."""
+        if not self.config.liveness:
+            return
+        self.checks += 1
+        self._fail("liveness",
+                   "request outstanding past its retry budget",
+                   node=agent.node, op=txn.op, address=txn.address,
+                   txn_id=txn.txn_id, attempts=txn.attempt + 1,
+                   max_retries=policy.max_retries,
+                   base_timeout_ns=policy.timeout_ns,
+                   backoff=policy.backoff)
 
     # ------------------------------------------------------------------
     # routing family
@@ -371,6 +422,7 @@ class SystemChecker:
             "violations": len(self.violations),
             "injected": self.injected,
             "delivered": self.delivered,
+            "dropped": self.dropped,
             "in_flight": len(self.in_flight),
             "drains": self.drains,
             "links_shadowed": len(self._links),

@@ -93,6 +93,7 @@ class CheckSession(Checking):
         for zbox in system.zboxes:
             zbox._check = checker
         for agent in system.agents:
+            agent._check = checker
             agent.directory._check = checker
         label = f"{type(system).__name__}/{system.n_cpus}P#{len(self.attached)}"
         self.attached.append((label, checker))

@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.coherence.directory import Directory, DirectoryActions
 from repro.coherence.messages import CoherenceMessage, CoherenceOp, Transaction
+from repro.coherence.retry import RetryBudgetExceeded, RetryPolicy
 from repro.config import CACHE_LINE_BYTES, DATA_RESPONSE_BYTES, MachineConfig
 from repro.memory import AddressMap, NodeLocalMap, Zbox
 from repro.network import FabricBase, MessageClass, Packet
@@ -44,6 +45,7 @@ class CoherenceAgent:
         fabric: FabricBase,
         zbox_of: Callable[[int], Zbox],
         address_map: AddressMap | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -54,11 +56,22 @@ class CoherenceAgent:
         self.directory = Directory(node)
         self._txns: dict[int, Transaction] = {}
         self._next_txn = node << 32  # globally unique across agents
+        # Timeout/retry policy (repro.coherence.retry); None arms no
+        # timeouts and keeps the protocol byte-identical to retry-free
+        # builds.
+        self.retry = retry
         # Statistics.
         self.completed: dict[str, int] = {}
         self.latency_sum_ns: dict[str, float] = {}
         self.latencies: list[float] = []
         self.record_latencies = False
+        self.timeouts_total = 0
+        self.retries_total = 0
+        self.retries_exhausted_total = 0
+        self.orphan_responses_total = 0
+        # Invariant checker (repro.check); None unless a CheckSession
+        # attached the system.
+        self._check = None
         # Telemetry: tracer handle plus per-transaction span ids; both
         # stay None unless a telemetry session attached the system.
         self._trace = None
@@ -159,6 +172,7 @@ class CoherenceAgent:
             txn_id=txn.txn_id,
             home=txn.home,
             size_bytes=txn.user_data if isinstance(txn.user_data, int) else 64,
+            attempt=txn.attempt,
         )
         if txn.home == self.node and not self.machine.local_via_fabric:
             # Local request: pay the directory lookup that remote
@@ -167,6 +181,41 @@ class CoherenceAgent:
                               self._home_handle, msg)
         else:
             self._send(txn.home, MessageClass.REQUEST, msg)
+        if self.retry is not None:
+            txn.timeout_event = self.sim.schedule(
+                self.retry.timeout_for(txn.attempt),
+                self._request_timeout, txn,
+            )
+
+    def _request_timeout(self, txn: Transaction) -> None:
+        """The armed timeout of ``txn``'s current attempt expired."""
+        if txn.txn_id not in self._txns:
+            return  # completed while this event was already in flight
+        txn.timeout_event = None
+        self.timeouts_total += 1
+        policy = self.retry
+        if txn.attempt >= policy.max_retries:
+            self.retries_exhausted_total += 1
+            chk = self._check
+            if chk is not None:
+                chk.retry_exhausted(self, txn, policy)
+            raise RetryBudgetExceeded(
+                f"node {self.node}: {txn.op} txn {txn.txn_id:#x} for "
+                f"address {txn.address:#x} still outstanding after "
+                f"{policy.max_retries} retries "
+                f"(base timeout {policy.timeout_ns} ns, "
+                f"backoff {policy.backoff})"
+            )
+        txn.attempt += 1
+        self.retries_total += 1
+        tr = self._trace
+        if tr is not None:
+            tr.instant(
+                "retry." + txn.op, self.sim.now, self.node,
+                args={"txn": txn.txn_id, "attempt": txn.attempt,
+                      "address": txn.address},
+            )
+        self._issue(txn)
 
     def _send(
         self, dst: int, msg_class: int, msg: CoherenceMessage,
@@ -218,6 +267,7 @@ class CoherenceAgent:
                 requestor=msg.requestor,
                 txn_id=msg.txn_id,
                 home=self.node,
+                attempt=msg.attempt,
             )
             if actions.forward_to == self.node:
                 self._owner_handle(fwd)
@@ -231,6 +281,7 @@ class CoherenceAgent:
                 txn_id=msg.txn_id,
                 home=self.node,
                 acks_expected=actions.acks_expected,
+                attempt=msg.attempt,
             )
             if sharer == self.node:
                 self._sharer_handle(inval)
@@ -255,6 +306,7 @@ class CoherenceAgent:
             acks_expected=actions.acks_expected,
             size_bytes=msg.size_bytes,
             t_home_done_ns=self.sim.now,
+            attempt=msg.attempt,
         )
         if actions.respond_to == self.node and not self.machine.local_via_fabric:
             self._data_arrived(data)
@@ -278,6 +330,7 @@ class CoherenceAgent:
             txn_id=msg.txn_id,
             home=msg.home,
             t_home_done_ns=self.sim.now,  # owner probe done (dirty read)
+            attempt=msg.attempt,
         )
         if msg.requestor == self.node:
             self._data_arrived(data)
@@ -310,6 +363,7 @@ class CoherenceAgent:
             requestor=msg.requestor,
             txn_id=msg.txn_id,
             home=msg.home,
+            attempt=msg.attempt,
         )
         if msg.requestor == self.node:
             self._ack_arrived(ack)
@@ -329,9 +383,20 @@ class CoherenceAgent:
                     self.machine.directory_lookup_ns,
                     self._send, msg.requestor, MessageClass.RESPONSE, msg,
                 )
-            return  # otherwise: stale/duplicate response
+            else:
+                # Stale/duplicate response: a retry (or the original
+                # issue racing a retry) already completed the txn.
+                self.orphan_responses_total += 1
+            return
         txn.data_received = True
-        txn.acks_expected = max(txn.acks_expected, msg.acks_expected)
+        if msg.attempt == txn.attempt and msg.attempt > 0:
+            # Response to the *current* retry: its ack count reflects
+            # today's directory state.  Merging with a superseded
+            # attempt's larger count (below) would wait forever for acks
+            # a dropped invalidate will never produce.
+            txn.acks_expected = msg.acks_expected
+        else:
+            txn.acks_expected = max(txn.acks_expected, msg.acks_expected)
         txn.t_home_done = msg.t_home_done_ns
         txn.t_data_arrived = self.sim.now
         self._maybe_complete(txn)
@@ -339,6 +404,7 @@ class CoherenceAgent:
     def _ack_arrived(self, msg: CoherenceMessage) -> None:
         txn = self._txns.get(msg.txn_id)
         if txn is None:
+            self.orphan_responses_total += 1
             return
         txn.acks_received += 1
         self._maybe_complete(txn)
@@ -347,6 +413,10 @@ class CoherenceAgent:
         if not txn.is_satisfied():
             return
         del self._txns[txn.txn_id]
+        ev = txn.timeout_event
+        if ev is not None:
+            txn.timeout_event = None
+            ev.cancel()
         self.sim.schedule(self.machine.fill_ns, self._complete, txn)
 
     def _complete(self, txn: Transaction) -> None:

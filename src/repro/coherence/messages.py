@@ -48,6 +48,11 @@ class CoherenceMessage:
     # Timestamp stamped by the home when it finished its part (directory
     # + memory); lets the requestor decompose latency into legs.
     t_home_done_ns: float = -1.0
+    # Which issue attempt of the transaction this message belongs to
+    # (0 = first issue).  Home/owner/sharer responses echo it back so
+    # the requestor can tell a current response from a straggler of a
+    # superseded attempt (see repro.coherence.retry).
+    attempt: int = 0
 
 
 @dataclass
@@ -69,6 +74,10 @@ class Transaction:
     t_home_done: float = -1.0
     t_data_arrived: float = -1.0
     user_data: Any = field(default=None)
+    # Timeout/retry state (repro.coherence.retry); both stay at their
+    # defaults when no RetryPolicy is armed.
+    attempt: int = 0
+    timeout_event: Any = field(default=None, repr=False)
 
     def legs_ns(self) -> tuple[float, float, float] | None:
         """(to-home+service, response leg, fill) breakdown, if stamped."""

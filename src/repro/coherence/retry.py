@@ -1,0 +1,72 @@
+"""Coherence request timeout/retry policy.
+
+The directory protocol as modelled has no acknowledged delivery: a
+Request, Forward, or Response destroyed by a mid-run link failure
+(:mod:`repro.faults`) would leave its transaction outstanding forever.
+A :class:`RetryPolicy` arms a requestor-side timeout per transaction
+attempt; on expiry the agent reissues the request with exponential
+backoff until a bounded retry budget is exhausted.  Reissue is safe
+because the directory handles duplicate requests idempotently (a READ
+re-adds the requestor to the sharer set; a READ_MOD from the current
+owner is answered without new invalidations), and responses that
+straggle in from superseded attempts are counted as orphans and
+dropped.
+
+The model recovers *timing*, not data: a retried transaction completes
+with degraded latency, which is exactly the failover behaviour the
+``ext04`` experiment measures.  ``retry=None`` (the default everywhere)
+arms nothing and leaves the protocol byte-identical to earlier PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+__all__ = ["RetryPolicy", "RetryBudgetExceeded"]
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """A transaction stayed outstanding past its full retry budget.
+
+    Raised by the agent only when no invariant checker is attached;
+    with checking armed the "liveness" family fires instead (same
+    condition, richer machine state).
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential-backoff retry for coherence requests.
+
+    Attempt ``k`` (0-based) times out after ``timeout_ns * backoff**k``;
+    after ``max_retries`` reissues the budget is exhausted and the
+    liveness checker (or :class:`RetryBudgetExceeded`) fires.
+    """
+
+    timeout_ns: float = 4000.0
+    backoff: float = 2.0
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.timeout_ns <= 0:
+            raise ValueError("retry timeout_ns must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("retry backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout of the given 0-based attempt."""
+        return self.timeout_ns * self.backoff**attempt
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        return cls(
+            timeout_ns=float(data.get("timeout_ns", 4000.0)),
+            backoff=float(data.get("backoff", 2.0)),
+            max_retries=int(data.get("max_retries", 4)),
+        )

@@ -85,6 +85,9 @@ class MemoryConfig:
     page_bytes: int
     channels: int
     stream_efficiency: float  # sustained/peak for unit-stride streams
+    # EV7 redundancy: RDRAM channels per controller that can fail before
+    # bandwidth degrades (the 21364's fifth "spare" channel).
+    spare_channels: int = 1
 
     def __post_init__(self):
         if self.peak_bw_gbps <= 0:
@@ -95,6 +98,8 @@ class MemoryConfig:
             raise ValueError("page parameters out of range")
         if not 0.0 < self.stream_efficiency <= 1.0:
             raise ValueError("stream_efficiency must be in (0, 1]")
+        if self.spare_channels < 0:
+            raise ValueError("spare_channels must be >= 0")
 
     @property
     def sustained_stream_bw_gbps(self) -> float:

@@ -1,0 +1,132 @@
+"""Extension 4: failover dynamics on the 64P torus.
+
+The paper's Section 4.2 measures *static* degraded shapes -- the
+machine booted with links already removed.  The 21364's actual selling
+point was surviving the failure at runtime: the router revalidates its
+tables and the directory protocol retries around the break.  This
+experiment measures that story end to end.  A continuous closed-loop
+run on the 8x8 torus fails ``k`` east links at the start of measurement
+window 1; per-window latency shows the pre-fault baseline, the
+transient spike while dropped packets ride out their retry backoff,
+and the steady rerouted state.  Each dynamic run is paired with the
+matching *static* baseline (same links failed at boot), so the
+``recovery`` column reports how close the healed machine gets to the
+machine that never saw the transient.
+
+Both halves are one :mod:`repro.campaign` spec: the dynamic runs use
+the ``failover`` point kind with a ``fault_schedule`` axis, the static
+baselines the ``load_test`` kind with a ``failed_links`` axis.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignSpec, SweepSpec, run_campaign
+from repro.experiments.base import ExperimentResult
+from repro.faults import FaultSchedule
+
+__all__ = ["FAIL_LINKS", "RETRY", "run", "campaign_spec"]
+
+#: East links failed in order, one per row of the 8x8 torus (node
+#: ``9`` is column 1 / row 1, etc.), so successive failures never
+#: share a router and the torus stays connected up to ``k = 4``.
+FAIL_LINKS: tuple[tuple[int, int], ...] = ((0, 1), (9, 10), (18, 19), (27, 28))
+
+#: Retry policy armed on every dynamic run: requests lost to a dying
+#: link retry after 4 us, doubling per attempt.
+RETRY = {"timeout_ns": 4000.0, "backoff": 2.0, "max_retries": 6}
+
+_CPUS = 64
+_WARMUP_NS = 3000.0
+
+
+def _grid(fast: bool) -> tuple[list[int], int, float, int]:
+    ks = [1, 2] if fast else [1, 2, 3, 4]
+    outstanding = 4 if fast else 8
+    window = 3000.0 if fast else 6000.0
+    n_windows = 5 if fast else 8
+    return ks, outstanding, window, n_windows
+
+
+def _schedule_dict(k: int, window_ns: float) -> dict:
+    """``k`` permanent link failures at the start of window 1."""
+    return FaultSchedule.link_failures(
+        _WARMUP_NS + window_ns, FAIL_LINKS[:k]
+    ).to_dict()
+
+
+def campaign_spec(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    ks, outstanding, window, n_windows = _grid(fast)
+    return CampaignSpec(
+        name="ext04",
+        description="64P mid-run link failure: transient and recovery",
+        sweeps=(
+            SweepSpec(
+                name="dynamic",
+                kind="failover",
+                base={
+                    "system": "GS1280", "cpus": _CPUS,
+                    "outstanding": outstanding, "seed": seed,
+                    "warmup_ns": _WARMUP_NS, "window_ns": window,
+                    "n_windows": n_windows, "retry": RETRY,
+                },
+                grid={
+                    "fault_schedule": [
+                        _schedule_dict(k, window) for k in ks
+                    ],
+                },
+            ),
+            SweepSpec(
+                name="static",
+                kind="load_test",
+                base={
+                    "system": "GS1280", "cpus": _CPUS,
+                    "outstanding": outstanding, "seed": seed,
+                    "warmup_ns": _WARMUP_NS, "window_ns": window,
+                },
+                grid={
+                    "failed_links": [
+                        [list(link) for link in FAIL_LINKS[:k]]
+                        for k in ks
+                    ],
+                },
+            ),
+        ),
+    )
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    ks, _outstanding, _window, _n_windows = _grid(fast)
+    campaign = run_campaign(campaign_spec(fast=fast, seed=seed))
+    dynamic = campaign.results_for("dynamic")
+    static = campaign.results_for("static")
+    rows = []
+    worst_recovery = 0.0
+    for k, dyn, base in zip(ks, dynamic, static):
+        windows = dyn["windows"]
+        pre = windows[0]["latency_ns"]
+        transient = max(w["latency_ns"] for w in windows[1:])
+        steady = windows[-1]["latency_ns"]
+        recovery = steady / base["latency_ns"] - 1.0
+        worst_recovery = max(worst_recovery, abs(recovery))
+        rows.append([
+            k, pre, transient, steady, base["latency_ns"],
+            100.0 * recovery, dyn["packets_dropped"], dyn["retries"],
+        ])
+    return ExperimentResult(
+        exp_id="ext04",
+        title="EXT: 64P dynamic link failure, transient and recovery",
+        headers=[
+            "failed links", "pre-fault ns", "transient peak ns",
+            "steady ns", "static baseline ns", "recovery %",
+            "dropped", "retries",
+        ],
+        rows=rows,
+        notes=[
+            f"worst steady-state deviation from the static baseline "
+            f"{100 * worst_recovery:.1f}% across k={ks}",
+            "finding: the transient peak is set by the retry backoff "
+            "(first timeout 4 us), not the reroute -- the tables heal "
+            "the moment the fault fires, so only requests already in "
+            "flight on the dead link pay the spike",
+        ],
+    )

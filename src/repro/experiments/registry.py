@@ -8,6 +8,7 @@ from repro.experiments import (
     ext01_tail_latency,
     ext02_io_contention,
     ext03_shuffle16,
+    ext04_failover,
     fig01_specfp_rate,
     fig04_dependent_load,
     fig05_stride_surface,
@@ -68,6 +69,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext01": ext01_tail_latency.run,
     "ext02": ext02_io_contention.run,
     "ext03": ext03_shuffle16.run,
+    "ext04": ext04_failover.run,
 }
 
 

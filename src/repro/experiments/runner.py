@@ -9,7 +9,7 @@ Usage::
     gs1280-repro export results.json [--full] [--jobs N]
     gs1280-repro sweep <spec.json|builtin> [--jobs N] [--cache-dir D]
                  [--resume] [--fresh] [--export out.json|out.csv]
-    gs1280-repro fuzz --seeds 100 [--fast] [--replay '<json>']
+    gs1280-repro fuzz --seeds 100 [--fast] [--faults] [--replay '<json>']
     gs1280-repro oracle [--full] [--jobs N]
 
 ``--jobs N`` fans the experiments of ``all``/``export`` out over N
@@ -154,12 +154,14 @@ def _run_fuzz(args) -> int:
         return 0
     start = time.time()
     failures = fuzz(args.seeds, start_seed=args.start_seed, fast=args.fast,
-                    shrink_failures=not args.no_shrink, log=print)
+                    shrink_failures=not args.no_shrink, faults=args.faults,
+                    log=print)
     elapsed = time.time() - start
     if not failures:
         print(f"fuzz: {args.seeds} seeds clean in {elapsed:.1f}s "
               f"(start seed {args.start_seed}"
-              f"{', fast' if args.fast else ''})")
+              f"{', fast' if args.fast else ''}"
+              f"{', faults' if args.faults else ''})")
         return 0
     print(f"fuzz: {len(failures)}/{args.seeds} seeds FAILED "
           f"in {elapsed:.1f}s")
@@ -280,6 +282,10 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_p.add_argument("--start-seed", type=int, default=0)
     fuzz_p.add_argument("--fast", action="store_true",
                         help="shorter workloads per seed (CI smoke)")
+    fuzz_p.add_argument("--faults", action="store_true",
+                        help="also draw mid-run fault schedules (link "
+                             "kills, router stalls, Zbox channel failures) "
+                             "with the coherence retry path armed")
     fuzz_p.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimizing them")
     fuzz_p.add_argument("--replay", metavar="JSON",

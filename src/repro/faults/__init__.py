@@ -1,0 +1,25 @@
+"""Dynamic fault injection & self-healing (see docs/faults.md).
+
+Declarative fault schedules (:class:`FaultSchedule`) fired through the
+simulator event loop by a :class:`FaultInjector`: mid-run link
+failures/repairs with route-table healing, transient router stalls, and
+EV7 spare-channel RDRAM degradation.  Pairs with
+:class:`repro.coherence.retry.RetryPolicy`, which turns dropped packets
+into latency instead of deadlock.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    schedule_from_params,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "schedule_from_params",
+]

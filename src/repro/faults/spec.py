@@ -1,0 +1,196 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is an ordered set of :class:`FaultEvent`
+entries -- "at simulated time T, do X" -- that the
+:class:`~repro.faults.injector.FaultInjector` arms on a system's event
+loop.  Schedules are plain data: hashable, JSON round-trippable, and
+safe to place in campaign grids (the sweep cache keys on their
+canonical JSON form).
+
+Event kinds:
+
+``fail_link``
+    Sever the a<->b torus cable.  Route tables rebuild immediately and
+    queued packets are dropped (``drop_packets=True``, recovered by the
+    coherence retry path) or drained.  A positive ``duration_ns`` makes
+    the failure transient: the link repairs itself that much later.
+``repair_link``
+    Restore a previously failed a<->b cable (exact route-table restore).
+``stall_router``
+    Freeze node ``a``'s routing pipeline for ``duration_ns``.
+``fail_channel``
+    Fail one RDRAM channel on node ``a``'s Zbox controller ``b``; the
+    EV7 spare channel absorbs the first failure per controller, further
+    failures degrade bandwidth.  A positive ``duration_ns`` auto-repairs.
+``repair_channel``
+    Repair one failed RDRAM channel on node ``a``, controller ``b``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "schedule_from_params",
+]
+
+FAULT_KINDS = (
+    "fail_link",
+    "repair_link",
+    "stall_router",
+    "fail_channel",
+    "repair_channel",
+)
+
+#: Kinds that require a positive duration.
+_NEEDS_DURATION = ("stall_router",)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    ``a``/``b`` are the link endpoints for link events, (node,
+    controller) for channel events, and (node, unused) for router
+    stalls.  ``duration_ns`` is the stall length for ``stall_router``
+    and the optional auto-repair delay for ``fail_link`` /
+    ``fail_channel`` (0 = permanent).
+    """
+
+    at_ns: float
+    kind: str
+    a: int = 0
+    b: int = 0
+    duration_ns: float = 0.0
+    drop_packets: bool = True
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_ns}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.duration_ns < 0:
+            raise ValueError("duration_ns must be >= 0")
+        if self.kind in _NEEDS_DURATION and self.duration_ns <= 0:
+            raise ValueError(f"{self.kind} needs a positive duration_ns")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "at_ns": self.at_ns,
+            "kind": self.kind,
+            "a": self.a,
+            "b": self.b,
+            "duration_ns": self.duration_ns,
+            "drop_packets": self.drop_packets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            at_ns=float(data["at_ns"]),
+            kind=str(data["kind"]),
+            a=int(data.get("a", 0)),
+            b=int(data.get("b", 0)),
+            duration_ns=float(data.get("duration_ns", 0.0)),
+            drop_packets=bool(data.get("drop_packets", True)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered fault schedule.
+
+    ``on_error`` decides what an inapplicable event does at fire time
+    (e.g. a link failure that would disconnect the torus, or repairing
+    a link that is not failed): ``"skip"`` counts it and moves on (the
+    default -- randomized schedules stay robust), ``"raise"`` propagates
+    the :class:`ValueError`.
+    """
+
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+    on_error: str = "skip"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("skip", "raise"):
+            raise ValueError("on_error must be 'skip' or 'raise'")
+        events = tuple(self.events)
+        for ev in events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"expected FaultEvent, got {type(ev).__name__}")
+        object.__setattr__(
+            self, "events",
+            tuple(sorted(events, key=lambda e: (e.at_ns, e.kind, e.a, e.b))),
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "on_error": self.on_error,
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSchedule":
+        return cls(
+            events=tuple(
+                FaultEvent.from_dict(ev) for ev in data.get("events", ())
+            ),
+            on_error=str(data.get("on_error", "skip")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    # -- convenience builders -------------------------------------------
+    @classmethod
+    def link_failures(
+        cls,
+        at_ns: float,
+        links: Iterable[tuple[int, int]],
+        duration_ns: float = 0.0,
+        drop_packets: bool = True,
+        on_error: str = "skip",
+    ) -> "FaultSchedule":
+        """Fail every (a, b) link in ``links`` at ``at_ns``."""
+        return cls(
+            events=tuple(
+                FaultEvent(at_ns=at_ns, kind="fail_link", a=a, b=b,
+                           duration_ns=duration_ns,
+                           drop_packets=drop_packets)
+                for a, b in links
+            ),
+            on_error=on_error,
+        )
+
+
+def schedule_from_params(value: Any) -> FaultSchedule:
+    """Coerce a campaign/CLI parameter into a :class:`FaultSchedule`.
+
+    Accepts a ready schedule, a ``{"on_error": ..., "events": [...]}``
+    mapping, or a bare list of event dicts.
+    """
+    if isinstance(value, FaultSchedule):
+        return value
+    if isinstance(value, Mapping):
+        return FaultSchedule.from_dict(value)
+    if isinstance(value, (list, tuple)):
+        return FaultSchedule(
+            events=tuple(FaultEvent.from_dict(ev) for ev in value)
+        )
+    raise TypeError(
+        f"cannot build a FaultSchedule from {type(value).__name__}"
+    )

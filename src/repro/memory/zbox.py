@@ -41,6 +41,12 @@ class Zbox:
         "_bus_free_at",
         "_trace",
         "_check",
+        "spare_channels",
+        "_channels_per_ctrl",
+        "_failed_channels",
+        "_degraded",
+        "channels_failed_total",
+        "channels_repaired_total",
         "busy_ns_total",
         "bytes_total",
         "accesses_total",
@@ -58,6 +64,19 @@ class Zbox:
         self._bus_free_at = [0.0] * n_controllers
         self._trace = None  # telemetry tracer; None on disabled runs
         self._check = None  # invariant checker; same contract
+        # EV7 spare-channel redundancy (repro.faults): each controller
+        # absorbs ``spare_channels`` RDRAM channel failures at full
+        # bandwidth; beyond that its sustained rate degrades by the
+        # share of data channels lost.
+        self.spare_channels = getattr(config, "spare_channels", 1)
+        self._channels_per_ctrl = max(1, config.channels // n_controllers)
+        self._failed_channels = [0] * n_controllers
+        # Kept False while every failure is absorbed by a spare so the
+        # hot path's float arithmetic stays bit-identical to a healthy
+        # run whenever bandwidth is unaffected.
+        self._degraded = False
+        self.channels_failed_total = 0
+        self.channels_repaired_total = 0
         self.busy_ns_total = 0.0
         self.bytes_total = 0
         self.accesses_total = 0
@@ -71,6 +90,69 @@ class Zbox:
     def controller_of(self, address: int) -> int:
         """Line-interleave: consecutive lines alternate controllers."""
         return (address // 64) % self.n_controllers
+
+    # -- faults ------------------------------------------------------------
+    def fail_channel(self, controller: int = 0) -> str:
+        """Fail one RDRAM channel on ``controller``.
+
+        Returns ``"spare"`` while the failure is absorbed by redundancy
+        (no bandwidth change -- the EV7's fifth channel) and
+        ``"degraded"`` once data channels are being lost.  Raises
+        :class:`ValueError` if failing another channel would leave the
+        controller with no working data channel.
+        """
+        if not 0 <= controller < self.n_controllers:
+            raise ValueError(
+                f"zbox {self.node}: controller {controller} out of range "
+                f"[0, {self.n_controllers})"
+            )
+        failed = self._failed_channels[controller] + 1
+        if failed > self._channels_per_ctrl + self.spare_channels - 1:
+            raise ValueError(
+                f"zbox {self.node}: controller {controller} has no "
+                f"channel left to fail"
+            )
+        self._failed_channels[controller] = failed
+        self.channels_failed_total += 1
+        self._refresh_degraded()
+        return "spare" if failed <= self.spare_channels else "degraded"
+
+    def repair_channel(self, controller: int = 0) -> None:
+        """Bring one failed RDRAM channel on ``controller`` back."""
+        if not 0 <= controller < self.n_controllers:
+            raise ValueError(
+                f"zbox {self.node}: controller {controller} out of range "
+                f"[0, {self.n_controllers})"
+            )
+        if self._failed_channels[controller] <= 0:
+            raise ValueError(
+                f"zbox {self.node}: controller {controller} has no "
+                f"failed channel to repair"
+            )
+        self._failed_channels[controller] -= 1
+        self.channels_repaired_total += 1
+        self._refresh_degraded()
+
+    def _refresh_degraded(self) -> None:
+        spare = self.spare_channels
+        self._degraded = any(f > spare for f in self._failed_channels)
+
+    def channel_capacity_factor(self, controller: int) -> float:
+        """Fraction of the controller's sustained bandwidth still
+        available (1.0 while spares cover every failure)."""
+        lost = self._failed_channels[controller] - self.spare_channels
+        if lost <= 0:
+            return 1.0
+        per = self._channels_per_ctrl
+        return (per - lost) / per
+
+    def spares_in_use(self) -> int:
+        return sum(
+            min(f, self.spare_channels) for f in self._failed_channels
+        )
+
+    def channels_failed(self) -> int:
+        return sum(self._failed_channels)
 
     def access(
         self,
@@ -90,6 +172,10 @@ class Zbox:
         # read/write bubbles keep it below the pin rate.
         node_rate = self.config.peak_bw_gbps * self.config.stream_efficiency
         ctrl_rate = node_rate / self.n_controllers
+        if self._degraded:
+            # Degraded mode: spares are exhausted on some controller, so
+            # its bus runs at the surviving data channels' share.
+            ctrl_rate *= self.channel_capacity_factor(ctrl)
         slot_ns = min(size_bytes, 64) / ctrl_rate
         start = max(now, self._bus_free_at[ctrl])
         self._bus_free_at[ctrl] = start + slot_ns

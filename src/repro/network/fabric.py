@@ -40,6 +40,8 @@ class FabricBase:
         self.sim = sim
         self.n_nodes = n_nodes
         self._agents: dict[int, Callable[[Packet], None]] = {}
+        #: Packets destroyed by dead links (repro.faults).
+        self.packets_dropped = 0
 
     def register_agent(self, node: int, agent: Callable[[Packet], None]) -> None:
         self._agents[node] = agent
@@ -61,6 +63,19 @@ class FabricBase:
 
     def links(self) -> Iterable[Link]:
         raise NotImplementedError
+
+    def packet_dropped(self, packet: Packet, link: Link) -> None:
+        """A dead link destroyed ``packet``: close out its lifecycle so
+        conservation accounting and traces stay exact.  The coherence
+        layer's timeout/retry path (not the network) is responsible for
+        recovering the lost message."""
+        self.packets_dropped += 1
+        tr = self._trace
+        if tr is not None:
+            tr.packet_dropped(packet, self.sim.now)
+        chk = self._check
+        if chk is not None:
+            chk.packet_dropped(packet)
 
     # -- telemetry ------------------------------------------------------
     def attach_tracer(self, tracer) -> None:
@@ -111,6 +126,8 @@ class TorusFabric(FabricBase):
             for node in range(topology.n_nodes)
         ]
         self._links: list[Link] = []
+        # (src, dst) -> directed link, for mid-run fault injection.
+        self._link_pairs: dict[tuple[int, int], Link] = {}
         priority = getattr(config, "vc_class_priority", True)
         for a, b, cls, shuffle in topology.edges():
             wire = config.wire_ns[cls]
@@ -118,12 +135,43 @@ class TorusFabric(FabricBase):
                        class_priority=priority)
             rev = Link(sim, b, a, config.link_bw_gbps, wire, cls, shuffle,
                        class_priority=priority)
+            fwd._on_drop = rev._on_drop = self.packet_dropped
             self.routers[a].attach_link(fwd, self.routers[b].receive)
             self.routers[b].attach_link(rev, self.routers[a].receive)
             self._links.extend((fwd, rev))
+            self._link_pairs[(a, b)] = fwd
+            self._link_pairs[(b, a)] = rev
 
     def inject(self, packet: Packet) -> None:
         self.routers[packet.src].inject(packet)
+
+    # -- mid-run faults --------------------------------------------------
+    def fail_link(self, a: int, b: int, drop_packets: bool = True) -> int:
+        """Fail the a<->b cable while the machine is running.
+
+        The topology validates the failure (adjacency, connectivity) and
+        rebuilds its route tables first -- routers re-route from the next
+        decision on -- then both directed wires die.  Queued packets are
+        dropped (``drop_packets=True``) or drained (``False``); a packet
+        already serializing completes its current hop either way.
+        Returns the number of packets dropped; each was reported through
+        :meth:`packet_dropped`, so the conservation checker sees
+        ``injected == delivered + dropped`` at the next drain.
+        """
+        self.topology.fail_link(a, b)
+        dropped = 0
+        for key in ((a, b), (b, a)):
+            dropped += len(self._link_pairs[key].fail(drop_queued=drop_packets))
+        return dropped
+
+    def repair_link(self, a: int, b: int) -> None:
+        """Bring a failed a<->b cable back: the topology restores the
+        link at its original adjacency position (route tables return to
+        their exact pre-failure state) and both wires accept traffic
+        again."""
+        self.topology.repair_link(a, b)
+        for key in ((a, b), (b, a)):
+            self._link_pairs[key].repair()
 
     def links(self) -> list[Link]:
         return self._links

@@ -57,6 +57,9 @@ class Link:
         "_trace",
         "_stall_counters",
         "_check",
+        "dead",
+        "_on_drop",
+        "packets_dropped",
         "busy_until",
         "busy_ns_total",
         "bytes_total",
@@ -103,6 +106,12 @@ class Link:
         self._stall_counters: list | None = None
         # Invariant checker (repro.check); same contract as _trace.
         self._check = None
+        # Fault state (repro.faults): a dead wire refuses new traffic.
+        # ``_on_drop`` is the fabric's conservation hook -- every packet
+        # this link destroys is reported there exactly once.
+        self.dead = False
+        self._on_drop: Callable[[Packet, "Link"], None] | None = None
+        self.packets_dropped = 0
         self.busy_until = 0.0
         self.busy_ns_total = 0.0
         self.bytes_total = 0
@@ -122,7 +131,16 @@ class Link:
 
     # -- transmission ----------------------------------------------------
     def submit(self, packet: Packet, on_arrival: Callable[[Packet], None]) -> None:
-        """Enqueue a packet on its class's virtual channel."""
+        """Enqueue a packet on its class's virtual channel.
+
+        Submitting to a dead wire destroys the packet: routers re-route
+        around a failure as soon as the tables rebuild, but a submission
+        the router committed to *before* the failure (e.g. a delayed
+        congestion-penalty injection) can still land here afterwards.
+        """
+        if self.dead:
+            self._drop(packet)
+            return
         self._queues[packet.msg_class].append((self._seq, packet, on_arrival))
         self._seq += 1
         self._queued_bytes += packet.size_bytes
@@ -208,6 +226,46 @@ class Link:
     def _wire_free(self) -> None:
         self._busy = False
         self._start_next()
+
+    # -- faults ----------------------------------------------------------
+    def fail(self, drop_queued: bool = True) -> list[Packet]:
+        """Kill the wire mid-run and return the packets it destroyed.
+
+        A packet whose flits are already on the wire completes its flight
+        (virtual cut-through has no way to recall it); everything still
+        queued is either dropped immediately (``drop_queued=True``, a
+        severed cable) or allowed to drain while new submissions are
+        refused (``drop_queued=False``, an administrative drain).  Each
+        dropped packet is reported through the checker's credit shadow
+        and the fabric's ``_on_drop`` conservation hook.
+        """
+        self.dead = True
+        dropped: list[Packet] = []
+        if drop_queued:
+            chk = self._check
+            for queue in self._queues:
+                while queue:
+                    _seq, packet, _cb = queue.popleft()
+                    self._queued_bytes -= packet.size_bytes
+                    self._queued_count -= 1
+                    if chk is not None:
+                        chk.link_dropped(self, packet)
+                    dropped.append(packet)
+            for packet in dropped:
+                self._drop(packet)
+        return dropped
+
+    def repair(self) -> None:
+        """Bring a dead wire back into service."""
+        self.dead = False
+        if not self._busy and self._queued_count:
+            self._start_next()
+
+    def _drop(self, packet: Packet) -> None:
+        self.packets_dropped += 1
+        on_drop = self._on_drop
+        if on_drop is not None:
+            on_drop(packet, self)
 
     def utilization_since(self, busy_ns_at_start: float, window_ns: float) -> float:
         """Fraction of ``window_ns`` the wire was busy, given the

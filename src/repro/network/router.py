@@ -159,6 +159,21 @@ class Router:
         # when the VC backlogs it reads are current.
         self.sim.schedule(delay, self._inject_cb, packet)
 
+    def stall(self, duration_ns: float) -> None:
+        """Freeze this router's routing pipeline for ``duration_ns``.
+
+        Models a transient router brown-out (ECC scrub storm, hot-swap
+        arbitration pause): decisions already made keep their schedule,
+        but no new routing slot is granted until the stall elapses.
+        """
+        if duration_ns <= 0:
+            raise ValueError("stall duration must be positive")
+        now = self.sim.now
+        base = self._route_free_at
+        if base < now:
+            base = now
+        self._route_free_at = base + duration_ns
+
     def _inject_on_link(self, packet: Packet) -> None:
         link, receiver = self._choose_output(packet)
         packet.hops += 1

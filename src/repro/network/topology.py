@@ -63,9 +63,13 @@ class Topology:
         #: the BFS distance tables per call (the reference path, used by
         #: the property tests and the perf harness's "before" side).
         self.route_cache_enabled: bool = True
-        #: Links removed by :meth:`fail_link`, as (a, b, class, shuffle)
-        #: in failure order; :meth:`repair_link` restores from here.
-        self._failed: list[tuple[int, int, str, bool]] = []
+        #: Links removed by :meth:`fail_link`, as (a, b, class, shuffle,
+        #: idx_in_adj[a], idx_in_adj[b]) in failure order;
+        #: :meth:`repair_link` restores from here.  The adjacency indices
+        #: let repair reinsert the link at its original position, so a
+        #: fail/repair round trip reproduces the original route tables
+        #: exactly (next-hop tuples preserve adjacency order).
+        self._failed: list[tuple[int, int, str, bool, int, int]] = []
 
     # -- construction ---------------------------------------------------
     def _add_link(self, a: int, b: int, link_class: str, shuffle: bool = False):
@@ -233,45 +237,52 @@ class Topology:
                 f"cannot fail link {a}<->{b}: node ids must be in "
                 f"[0, {self.n_nodes})"
             )
-        removed = next((t for t in self._adj[a] if t[0] == b), None)
-        if removed is None:
+        idx_a = next(
+            (i for i, t in enumerate(self._adj[a]) if t[0] == b), None
+        )
+        if idx_a is None:
             raise ValueError(
                 f"cannot fail link {a}<->{b}: the nodes are not "
                 f"connected by a physical link"
             )
-        removed_rev = next(t for t in self._adj[b] if t[0] == a)
-        self._adj[a] = [t for t in self._adj[a] if t[0] != b]
-        self._adj[b] = [t for t in self._adj[b] if t[0] != a]
+        idx_b = next(i for i, t in enumerate(self._adj[b]) if t[0] == a)
+        removed = self._adj[a][idx_a]
+        removed_rev = self._adj[b][idx_b]
+        del self._adj[a][idx_a]
+        del self._adj[b][idx_b]
         try:
             self._finalize()
         except ValueError:
             # Disconnection is detected before any table is replaced
             # (the BFS raises mid-comprehension), so restoring the
             # adjacency lists restores the exact pre-call state.
-            self._adj[a].append(removed)
-            self._adj[b].append(removed_rev)
+            self._adj[a].insert(idx_a, removed)
+            self._adj[b].insert(idx_b, removed_rev)
             raise ValueError(
                 f"cannot fail link {a}<->{b}: removing it would "
                 f"disconnect the network"
             ) from None
-        self._failed.append((a, b, removed[1], removed[2]))
+        self._failed.append((a, b, removed[1], removed[2], idx_a, idx_b))
 
     def repair_link(self, a: int, b: int) -> None:
         """Restore a link previously removed by :meth:`fail_link` (with
-        its original class and shuffle flag) and rebuild the routing
-        tables.  Raises :class:`ValueError` if no such failed link is on
-        record."""
-        for index, (fa, fb, cls, shuffle) in enumerate(self._failed):
+        its original class, shuffle flag, and adjacency position) and
+        rebuild the routing tables.  Because the link returns to its
+        original position, the rebuilt route tables match the pre-failure
+        tables exactly.  Raises :class:`ValueError` if no such failed
+        link is on record."""
+        for index, (fa, fb, cls, shuffle, idx_a, idx_b) in enumerate(self._failed):
             if (fa, fb) in ((a, b), (b, a)):
                 del self._failed[index]
-                self._add_link(fa, fb, cls, shuffle)
+                self._adj[fa].insert(idx_a, (fb, cls, shuffle))
+                self._adj[fb].insert(idx_b, (fa, cls, shuffle))
                 self._finalize()
                 return
         raise ValueError(f"cannot repair link {a}<->{b}: it is not failed")
 
     def failed_links(self) -> list[tuple[int, int]]:
         """The (a, b) pairs currently failed, in failure order."""
-        return [(a, b) for a, b, _cls, _sh in self._failed]
+        return [(a, b) for a, b, *_rest in self._failed]
 
     def edges(self) -> list[tuple[int, int, str, bool]]:
         """Each undirected edge once, as (a, b, class, shuffle) with a < b."""

@@ -123,6 +123,26 @@ class SystemBase:
                       lambda ls=links: sum(l.bytes_total for l in ls))
             reg.probe("fabric.links.busy_ns",
                       lambda ls=links: sum(l.busy_ns_total for l in ls))
+        # Fault/retry aggregates (repro.faults + repro.coherence.retry);
+        # all zero on healthy runs.
+        agents = self.agents
+        reg.probe("faults.retries",
+                  lambda ag=agents: sum(a.retries_total for a in ag))
+        reg.probe("faults.timeouts",
+                  lambda ag=agents: sum(a.timeouts_total for a in ag))
+        reg.probe("faults.orphan_responses",
+                  lambda ag=agents: sum(a.orphan_responses_total for a in ag))
+        reg.probe("faults.retries_exhausted",
+                  lambda ag=agents: sum(a.retries_exhausted_total
+                                        for a in ag))
+        if fabric is not None:
+            reg.probe("faults.packets_dropped",
+                      lambda f=fabric: f.packets_dropped)
+        zboxes = self.zboxes
+        reg.probe("faults.zbox_channels_failed",
+                  lambda zs=zboxes: sum(z.channels_failed() for z in zs))
+        reg.probe("faults.zbox_spares_in_use",
+                  lambda zs=zboxes: sum(z.spares_in_use() for z in zs))
 
     def enable_active_telemetry(self, session: TelemetrySession) -> None:
         """Turn on the instrumentation that costs something per event:

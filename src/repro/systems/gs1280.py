@@ -8,7 +8,9 @@ memory striping (Section 6).
 from __future__ import annotations
 
 from repro.coherence import CoherenceAgent
+from repro.coherence.retry import RetryPolicy
 from repro.config import GS1280Config, TorusShape, torus_shape_for
+from repro.faults import FaultInjector, FaultSchedule
 from repro.memory import NodeLocalMap, StripedMap, Zbox
 from repro.network import RoutingPolicy, TorusFabric, build_gs1280_topology
 from repro.systems.base import SystemBase
@@ -29,6 +31,8 @@ class GS1280System(SystemBase):
         adaptive: bool = True,
         striped: bool = False,
         failed_links: list[tuple[int, int]] | None = None,
+        retry: RetryPolicy | None = None,
+        fault_schedule: FaultSchedule | None = None,
     ) -> None:
         super().__init__(config or GS1280Config.build(n_cpus))
         self.shape = shape or torus_shape_for(n_cpus)
@@ -57,10 +61,17 @@ class GS1280System(SystemBase):
                 self.fabric,
                 zbox_of=self.zboxes.__getitem__,
                 address_map=self.address_map,
+                retry=retry,
             )
             for node in range(self.config.n_cpus)
         ]
         self._telemetry_ready()
+        # Mid-run faults arm last so telemetry/checker handles are wired
+        # before the first event can fire.
+        self.fault_injector: FaultInjector | None = None
+        if fault_schedule is not None and len(fault_schedule):
+            self.fault_injector = FaultInjector(self, fault_schedule)
+            self.fault_injector.arm()
 
     def zbox_of_cpu(self, cpu: int) -> Zbox:
         return self.zboxes[cpu]

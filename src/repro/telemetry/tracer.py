@@ -128,6 +128,17 @@ class EventTracer:
                 packet.src, sid, {"hops": packet.hops},
             )
 
+    def packet_dropped(self, packet: Packet, ts: float) -> None:
+        """Drop (dead link, repro.faults): closes the lifecycle span
+        with a drop marker so the B/E pair survives export."""
+        sid = packet.span
+        if sid is not None:
+            packet.span = None
+            self._record(
+                ts, "E", "pkt." + _CLASS_NAMES.get(packet.msg_class, "?"),
+                packet.src, sid, {"hops": packet.hops, "dropped": True},
+            )
+
     # -- coherence transaction lifecycle ----------------------------------
     def txn_begin(self, node: int, op: str, address: int, ts: float) -> int:
         return self.begin("txn." + op, ts, node, {"address": address})

@@ -3,6 +3,11 @@ GUPS, hot-spot) and application-class proxies (SPEC CPU2000 tables, NAS
 SP, Fluent)."""
 
 from repro.workloads.closed_loop import ClosedLoopResult, run_closed_loop
+from repro.workloads.failover import (
+    FailoverResult,
+    FailoverWindow,
+    run_failover,
+)
 from repro.workloads.fluent import FluentModel, FluentPoint, fluent_profile_phases
 from repro.workloads.gups import GupsResult, make_gups_picker, run_gups
 from repro.workloads.hotspot import (
@@ -57,6 +62,8 @@ __all__ = [
     "FIG4_SIZES",
     "FIG5_SIZES",
     "FIG5_STRIDES",
+    "FailoverResult",
+    "FailoverWindow",
     "FluentModel",
     "FluentPoint",
     "GupsResult",
@@ -82,6 +89,7 @@ __all__ = [
     "make_hotspot_picker",
     "make_random_remote_picker",
     "run_closed_loop",
+    "run_failover",
     "run_gups",
     "run_hotspot_test",
     "run_io_streams",

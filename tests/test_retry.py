@@ -1,0 +1,206 @@
+"""Coherence request timeouts and bounded-backoff retry.
+
+Mutation-style proofs that the retry path is load-bearing: a
+deliberately destroyed packet (through the link's real drop path) must
+be recovered by a retry within budget, and an unrecoverable loss must
+surface as a ``liveness`` invariant violation -- not a silent hang.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.check import CheckConfig, InvariantViolation, checking
+from repro.coherence.retry import RetryBudgetExceeded, RetryPolicy
+from repro.network.link import Link
+from repro.network.packet import MessageClass
+from repro.systems import GS1280System
+
+RETRY = RetryPolicy(timeout_ns=2000.0, backoff=2.0, max_retries=4)
+
+
+@contextmanager
+def dropping(match, limit=1):
+    """Destroy up to ``limit`` matching packets at submission time,
+    through the link's own drop path (so conservation accounting sees
+    them)."""
+    original = Link.submit
+    state = {"dropped": 0}
+
+    def patched(self, packet, on_arrival):
+        if state["dropped"] < limit and match(packet):
+            state["dropped"] += 1
+            self._drop(packet)
+            return
+        original(self, packet, on_arrival)
+
+    Link.submit = patched
+    try:
+        yield state
+    finally:
+        Link.submit = original
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(timeout_ns=1000.0, backoff=2.0, max_retries=3)
+        assert policy.timeout_for(0) == 1000.0
+        assert policy.timeout_for(1) == 2000.0
+        assert policy.timeout_for(2) == 4000.0
+
+    def test_dict_round_trip(self):
+        assert RetryPolicy.from_dict(RETRY.to_dict()) == RETRY
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ns=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+
+class TestHealthyRunsUnchanged:
+    def test_no_timeouts_fire_without_faults(self):
+        system = GS1280System(4, retry=RETRY)
+        done = []
+        system.agent(0).read(0, done.append, home=2)
+        system.run()
+        agent = system.agent(0)
+        assert len(done) == 1
+        assert agent.timeouts_total == 0
+        assert agent.retries_total == 0
+        assert not agent._txns  # timeout event cancelled, txn gone
+
+    def test_default_is_no_retry_policy(self):
+        system = GS1280System(4)
+        assert all(a.retry is None for a in system.agents)
+
+
+class TestDroppedPacketRecovery:
+    def test_dropped_request_recovered_by_retry(self):
+        system = GS1280System(4, retry=RETRY)
+        done = []
+        with dropping(lambda p: p.msg_class == MessageClass.REQUEST):
+            system.agent(2).read(0, done.append, home=1)
+            system.run()
+        agent = system.agent(2)
+        assert len(done) == 1
+        assert agent.timeouts_total == 1
+        assert agent.retries_total == 1
+        # The retry paid the first backoff step on top of the transfer.
+        assert done[0].latency_ns > RETRY.timeout_ns
+
+    def test_dropped_forward_recovered_by_retry(self):
+        """The Forward class: node 0 owns the line exclusively, node 2's
+        read is forwarded to it, and that forward dies on the wire.
+        Node 2's retry must complete against the directory's post-
+        forward state."""
+        system = GS1280System(4, retry=RETRY)
+        owned = []
+        system.agent(0).read_mod(0, owned.append, home=1)
+        system.run()
+        assert len(owned) == 1
+        done = []
+        with dropping(lambda p: p.msg_class == MessageClass.FORWARD) as st:
+            system.agent(2).read(0, done.append, home=1)
+            system.run()
+        assert st["dropped"] == 1
+        assert len(done) == 1
+        assert system.agent(2).retries_total >= 1
+
+    def test_dropped_invalidation_recovered_by_retry(self):
+        """An invalidation dies, so the writer's ack count can never be
+        met by attempt-0 responses; the retried request's fresh
+        ``acks_expected`` must override the stale expectation instead of
+        deadlocking on max()."""
+        system = GS1280System(8, retry=RETRY)
+        readers = []
+        for cpu in (2, 3, 5):
+            system.agent(cpu).read(0, readers.append, home=1)
+        system.run()
+        assert len(readers) == 3
+        done = []
+        with dropping(
+            lambda p: p.msg_class == MessageClass.FORWARD, limit=1
+        ):
+            system.agent(4).read_mod(0, done.append, home=1)
+            system.run()
+        assert len(done) == 1
+        assert system.agent(4).retries_total >= 1
+
+    def test_recovery_is_clean_under_checker(self):
+        with checking() as session:
+            system = GS1280System(4, retry=RETRY)
+            done = []
+            with dropping(lambda p: p.msg_class == MessageClass.REQUEST):
+                system.agent(2).read(0, done.append, home=1)
+                system.run()
+        assert len(done) == 1
+        assert session.report()["total_violations"] == 0
+        summary = system.checker.summary()
+        assert summary["dropped"] == 1
+        assert summary["in_flight"] == 0
+
+
+class TestBudgetExhaustion:
+    TIGHT = RetryPolicy(timeout_ns=500.0, backoff=2.0, max_retries=1)
+
+    def test_exhaustion_raises_without_checker(self):
+        system = GS1280System(4, retry=self.TIGHT)
+        done = []
+        with dropping(
+            lambda p: p.msg_class == MessageClass.REQUEST, limit=99
+        ):
+            system.agent(2).read(0, done.append, home=1)
+            with pytest.raises(RetryBudgetExceeded, match="still outstanding"):
+                system.run()
+        assert done == []
+        assert system.agent(2).retries_exhausted_total == 1
+
+    def test_exhaustion_fires_liveness_checker(self):
+        with checking() as session:
+            system = GS1280System(4, retry=self.TIGHT)
+            with dropping(
+                lambda p: p.msg_class == MessageClass.REQUEST, limit=99
+            ):
+                system.agent(2).read(0, lambda t: None, home=1)
+                with pytest.raises(InvariantViolation) as excinfo:
+                    system.run()
+        assert excinfo.value.family == "liveness"
+        # Original issue + one retry = two attempts against a budget of 1.
+        assert excinfo.value.details["attempts"] == 2
+        assert excinfo.value.details["max_retries"] == 1
+        assert session.report()["total_violations"] == 1
+
+    def test_liveness_family_can_be_disabled(self):
+        config = CheckConfig(liveness=False)
+        with checking(config) as session:
+            system = GS1280System(4, retry=self.TIGHT)
+            with dropping(
+                lambda p: p.msg_class == MessageClass.REQUEST, limit=99
+            ):
+                system.agent(2).read(0, lambda t: None, home=1)
+                # Family off: no InvariantViolation is recorded, but the
+                # exhaustion is still a hard error in the model itself.
+                with pytest.raises(RetryBudgetExceeded):
+                    system.run()
+        assert session.report()["total_violations"] == 0
+        assert system.agent(2).retries_exhausted_total == 1
+
+
+class TestOrphanResponses:
+    def test_spurious_retry_counts_orphan(self):
+        """A timeout far shorter than the real round trip makes the
+        retry spurious: both the original and the retried request
+        complete, and the loser is counted as an orphan, not an
+        error."""
+        policy = RetryPolicy(timeout_ns=30.0, backoff=2.0, max_retries=6)
+        system = GS1280System(16, retry=policy)
+        done = []
+        system.agent(0).read(0, done.append, home=15)
+        system.run()
+        agent = system.agent(0)
+        assert len(done) == 1  # completion fires exactly once
+        assert agent.retries_total >= 1
+        assert agent.orphan_responses_total >= 1
