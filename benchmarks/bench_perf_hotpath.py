@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -64,14 +65,17 @@ def measure_load_point(
     window_ns: float = WINDOW_NS,
     seed: int = SEED,
     route_cache: bool | None = None,
+    shards: int = 0,
 ) -> dict:
     """One load-test point; returns wall clock, event count and rates.
 
     ``route_cache`` toggles the precomputed next-hop tables when the
     tree supports them (pre-optimization revisions ignore it), so the
-    routing layer's contribution can be isolated in-place.
+    routing layer's contribution can be isolated in-place.  ``shards``
+    >= 2 runs on the sharded scheduler backend (model outputs must be
+    byte-identical; see docs/sharding.md).
     """
-    system = GS1280System(n_cpus)
+    system = GS1280System(n_cpus, shards=shards)
     if route_cache is not None and hasattr(system.topology, "route_cache_enabled"):
         system.topology.route_cache_enabled = route_cache
     rng_factory = RngFactory(seed)
@@ -95,6 +99,7 @@ def measure_load_point(
         "warmup_ns": warmup_ns,
         "window_ns": window_ns,
         "seed": seed,
+        "shards": shards,
         "wall_s": wall_s,
         "events": events,
         "events_per_sec": events / wall_s,
@@ -150,7 +155,7 @@ def quick_smoke() -> int:
 
 
 def gate(baseline_path: str, tolerance: float, repeat: int,
-         out: str | None) -> int:
+         out: str | None, shard_identity: int = 0) -> int:
     """Benchmark-regression gate: fail when the tree is more than
     ``tolerance`` slower than the recorded baseline.
 
@@ -161,6 +166,11 @@ def gate(baseline_path: str, tolerance: float, repeat: int,
     is unchanged -- a host-independent semantic regression check --
     and events/sec must stay within the tolerance band, which absorbs
     host-speed differences up to the band's width.
+
+    ``shard_identity`` >= 2 additionally runs the same point on the
+    sharded backend with that many shards and fails unless its model
+    outputs are byte-identical to the single-heap side; the sharded
+    measurement (and its wall-clock ratio) is recorded in the report.
     """
     baseline = json.loads(Path(baseline_path).read_text())
     if "after" in baseline:
@@ -176,12 +186,38 @@ def gate(baseline_path: str, tolerance: float, repeat: int,
             fresh["events_per_sec"] / baseline["events_per_sec"]
         ),
     }
+    failures = []
+    if shard_identity >= 2:
+        sharded = best_of(repeat, shards=shard_identity)
+        identical = (
+            sharded["completed"] == fresh["completed"]
+            and sharded["latency_ns"] == fresh["latency_ns"]
+            and sharded["events"] == fresh["events"]
+        )
+        report["sharded"] = sharded
+        report["shard_identity"] = identical
+        report["speedup_sharded_wall"] = fresh["wall_s"] / sharded["wall_s"]
+        report["host_cpus"] = os.cpu_count()
+        # The sharded backend parallelizes across cores only on
+        # GIL-releasing builds; on a 1-core host the honest expectation
+        # is ~parity, and the identity check is the point of this leg.
+        print(f"shard identity ({shard_identity} shards): "
+              f"{'ok' if identical else 'DIVERGED'}; sharded wall "
+              f"{sharded['wall_s']:.2f}s vs single {fresh['wall_s']:.2f}s "
+              f"({report['speedup_sharded_wall']:.2f}x)")
+        if not identical:
+            failures.append(
+                f"sharded backend diverged from single-heap: completed "
+                f"{fresh['completed']} -> {sharded['completed']}, events "
+                f"{fresh['events']} -> {sharded['events']}, latency "
+                f"{fresh['latency_ns']!r} -> {sharded['latency_ns']!r}"
+            )
     if out:
         Path(out).write_text(json.dumps(report, indent=2) + "\n")
-    failures = []
     same_workload = all(
-        fresh[k] == baseline[k]
-        for k in ("n_cpus", "outstanding", "warmup_ns", "window_ns", "seed")
+        fresh[k] == baseline.get(k, fresh[k] if k == "shards" else None)
+        for k in ("n_cpus", "outstanding", "warmup_ns", "window_ns",
+                  "seed", "shards")
     )
     if same_workload and (
         fresh["completed"] != baseline["completed"]
@@ -230,6 +266,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="report path (default BENCH_PR1.json)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="measurements per side, best-of (default 3)")
+    parser.add_argument("--shard-identity", type=int, default=0,
+                        metavar="N",
+                        help="with --gate: also run the point on the "
+                             "sharded backend with N shards and fail "
+                             "unless model outputs are byte-identical")
     parser.add_argument("--telemetry", action="store_true",
                         help="run under a live telemetry session (smoke "
                              "check / overhead measurement; results must "
@@ -256,7 +297,8 @@ def _dispatch(args) -> int:
         # Don't clobber the committed baseline with the gate report
         # unless the caller chose an output path explicitly.
         out = args.out if args.out != "BENCH_PR1.json" else None
-        return gate(args.gate, args.tolerance, args.repeat, out)
+        return gate(args.gate, args.tolerance, args.repeat, out,
+                    shard_identity=args.shard_identity)
 
     if args.measure:
         record = best_of(args.repeat)

@@ -19,6 +19,7 @@ from repro.campaign.builtin import (
 )
 from repro.campaign.cache import CACHE_SALT, ResultCache, point_key
 from repro.campaign.engine import (
+    CampaignPointError,
     CampaignResult,
     Point,
     PointOutcome,
@@ -42,6 +43,7 @@ from repro.campaign.spec import (
 __all__ = [
     "BUILTIN_CAMPAIGNS",
     "CACHE_SALT",
+    "CampaignPointError",
     "CampaignResult",
     "CampaignSpec",
     "POINT_KINDS",

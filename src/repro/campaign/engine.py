@@ -39,9 +39,10 @@ from typing import Any, Callable
 from repro.campaign.cache import CACHE_SALT, ResultCache, point_key
 from repro.campaign.points import run_point
 from repro.campaign.spec import CampaignSpec, canonical_json
-from repro.parallel import parallel_map
+from repro.parallel import ParallelWorkerError, parallel_map
 
 __all__ = [
+    "CampaignPointError",
     "CampaignResult",
     "Point",
     "PointOutcome",
@@ -63,6 +64,29 @@ def default_cache_dir() -> str | None:
     """The ambient cache directory (``$GS1280_CACHE_DIR``), if any."""
     value = os.environ.get(CACHE_DIR_ENV, "").strip()
     return value or None
+
+
+class CampaignPointError(RuntimeError):
+    """A point's worker raised; carries the failing point's identity.
+
+    The campaign fans points over workers, so a bare traceback from the
+    pool would leave no record of *which* grid point died.  This wrapper
+    attaches the content-addressed ``key`` plus ``kind``/``params`` so
+    the point is replayable (``run_point(kind, params)``) straight from
+    the error; the original exception is chained as ``__cause__``.
+    Telemetry deltas from every worker -- including the failed one --
+    have already been merged when this is raised, and cache entries are
+    written per point *before* return, so no completed work is lost.
+    """
+
+    def __init__(self, key: str, kind: str, params: dict[str, Any]) -> None:
+        super().__init__(
+            f"campaign point {key[:12]} ({kind}) failed; "
+            f"params={canonical_json(params)}"
+        )
+        self.key = key
+        self.kind = kind
+        self.params = params
 
 
 @dataclass(frozen=True)
@@ -232,11 +256,15 @@ def run_campaign(
             f"({len(entries)} cached, {len(to_compute)} to compute, "
             f"jobs={jobs})"
         )
-    computed = parallel_map(
-        partial(_compute_one, cache_dir=cache_path, salt=salt),
-        to_compute,
-        jobs,
-    )
+    try:
+        computed = parallel_map(
+            partial(_compute_one, cache_dir=cache_path, salt=salt),
+            to_compute,
+            jobs,
+        )
+    except ParallelWorkerError as exc:
+        key, kind, params = exc.item
+        raise CampaignPointError(key, kind, params) from exc.__cause__
     for key, result, elapsed in computed:
         entries[key] = {
             "result": result, "elapsed_s": elapsed, "status": "computed",

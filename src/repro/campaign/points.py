@@ -69,6 +69,11 @@ def _system_factory(params: Mapping[str, Any]) -> Callable[[], Any]:
         shuffle = bool(params.get("shuffle", False))
         striped = bool(params.get("striped", False))
         failed = [tuple(link) for link in params.get("failed_links", [])]
+        # Sharded scheduler backend; model outputs are byte-identical
+        # to the single heap (docs/sharding.md), so ``shards`` does NOT
+        # enter the cache key -- it is an execution strategy, not a
+        # model parameter.
+        shards = int(params.get("shards", 0))
         retry = params.get("retry")
         if retry is not None:
             from repro.coherence.retry import RetryPolicy
@@ -85,6 +90,7 @@ def _system_factory(params: Mapping[str, Any]) -> Callable[[], Any]:
                 cpus, shuffle=shuffle, striped=striped,
                 failed_links=failed or None,
                 retry=retry, fault_schedule=schedule,
+                shards=shards,
             )
 
         return build
@@ -92,7 +98,7 @@ def _system_factory(params: Mapping[str, Any]) -> Callable[[], Any]:
         from repro.systems import GS320System
 
         for knob in ("shuffle", "striped", "failed_links", "retry",
-                     "fault_schedule"):
+                     "fault_schedule", "shards"):
             if params.get(knob):
                 raise ValueError(f"{knob!r} only applies to GS1280 points")
         return lambda: GS320System(cpus)

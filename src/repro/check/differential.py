@@ -15,6 +15,10 @@ free correctness oracle:
 3. **Observation on vs off** -- a telemetry session and a check session
    only *read* model state (they never schedule events), so results
    with them enabled must be byte-identical to results without.
+4. **Sharded vs single-heap** -- the sharded scheduler backend
+   (:class:`repro.sim.sharded.ShardedSimulator`) promises byte-identical
+   observable event order (docs/sharding.md); the oracle proves it on a
+   Figure-15 load point, with and without a mid-run fault schedule.
 
 ``gs1280-repro oracle`` runs all of them, with the invariant checkers
 armed throughout, and exits non-zero on any discrepancy.
@@ -27,7 +31,13 @@ from dataclasses import dataclass
 
 from repro.check.session import checking
 
-__all__ = ["OracleRow", "TOLERANCE_PCT", "run_oracle", "format_oracle"]
+__all__ = [
+    "OracleRow",
+    "TOLERANCE_PCT",
+    "format_oracle",
+    "run_oracle",
+    "shard_identity_rows",
+]
 
 #: Allowed |simulated/analytic - 1| per validation quantity, in percent.
 #: The bands encode the *known* model fidelity recorded in
@@ -105,6 +115,68 @@ def _observation_identity(fast: bool) -> list[OracleRow]:
     return rows
 
 
+def _fig15_signature(shards: int, fast: bool, with_faults: bool) -> str:
+    """One Figure-15 load point on the chosen backend, serialized to a
+    canonical JSON string: workload results plus the full machine
+    counter snapshot, so *any* observable divergence shows up."""
+    from repro.coherence.retry import RetryPolicy
+    from repro.faults import FaultEvent, FaultSchedule
+    from repro.sim import RngFactory
+    from repro.systems import GS1280System
+    from repro.workloads.closed_loop import run_closed_loop
+    from repro.workloads.loadtest import make_random_remote_picker
+
+    n_cpus = 16 if fast else 64
+    warmup, window = (2000.0, 5000.0) if fast else (4000.0, 12000.0)
+    schedule = None
+    retry = None
+    if with_faults:
+        schedule = FaultSchedule([
+            FaultEvent(at_ns=warmup + 500.0, kind="fail_link",
+                       a=0, b=1, duration_ns=window / 4),
+            FaultEvent(at_ns=warmup + 1000.0, kind="stall_router",
+                       a=n_cpus // 2, duration_ns=200.0),
+        ])
+        retry = RetryPolicy()
+    system = GS1280System(n_cpus, shards=shards, retry=retry,
+                          fault_schedule=schedule)
+    rng_factory = RngFactory(0)
+    pickers = [
+        make_random_remote_picker(rng_factory, cpu, n_cpus)
+        for cpu in range(n_cpus)
+    ]
+    result = run_closed_loop(system, pickers, outstanding=8,
+                             warmup_ns=warmup, window_ns=window)
+    return json.dumps({
+        "completed": result.completed,
+        "latency_ns": result.latency_ns,
+        "bandwidth_mbps": result.bandwidth_mbps,
+        "events_processed": system.sim.events_processed,
+        "events_cancelled": system.sim.events_cancelled,
+        "injector_log": (system.fault_injector.log
+                         if system.fault_injector else None),
+        "counters": system.counters(),
+    }, sort_keys=True)
+
+
+def shard_identity_rows(fast: bool, shards: int = 4) -> list[OracleRow]:
+    """The sharded-vs-single-heap byte-compare legs on their own --
+    the CI shard-identity smoke lane runs exactly these."""
+    rows = []
+    for with_faults, label in ((False, "healthy"),
+                               (True, "fault schedule")):
+        single = _fig15_signature(0, fast, with_faults)
+        sharded = _fig15_signature(shards, fast, with_faults)
+        same = single == sharded
+        rows.append(OracleRow(
+            check=f"identity: sharded == single-heap [fig15, {label}]",
+            detail=(f"{shards}-shard results + counters "
+                    f"{'byte-identical' if same else 'DIFFER'}"),
+            ok=same,
+        ))
+    return rows
+
+
 def run_oracle(fast: bool = True, jobs: int = 2) -> dict:
     """Run every differential check (invariant checkers armed for all
     of them); returns ``{"rows": [...], "ok": bool}``."""
@@ -112,6 +184,7 @@ def run_oracle(fast: bool = True, jobs: int = 2) -> dict:
         rows = _analytic_rows(fast)
         rows.append(_jobs_identity(fast, jobs))
         rows.extend(_observation_identity(fast))
+        rows.extend(shard_identity_rows(fast))
         checks = sess.report()["total_checks"]
     rows.append(OracleRow(
         check="invariants during the oracle itself",

@@ -98,6 +98,35 @@ def _run_traced(args) -> int:
     return 0
 
 
+#: Point kinds that build an event-driven GS1280 and therefore accept
+#: the ``shards`` execution knob.
+_SHARDABLE_KINDS = frozenset(
+    {"load_test", "failover", "latency_map", "latency_avg"}
+)
+
+
+def _with_shards(spec, shards: int):
+    """Run the campaign's GS1280 event-driven sweeps on the sharded
+    scheduler backend.
+
+    ``shards`` is an execution strategy, not a model parameter: results
+    are byte-identical and the knob is excluded from the cache key, so
+    this override can never change an exported number.  Sweeps over
+    other systems/kinds (or ones already sweeping ``shards``) are left
+    alone.
+    """
+    from dataclasses import replace
+
+    sweeps = []
+    for sweep in spec.sweeps:
+        if (sweep.kind in _SHARDABLE_KINDS
+                and sweep.base.get("system") == "GS1280"
+                and "shards" not in sweep.grid):
+            sweep = replace(sweep, base={**sweep.base, "shards": shards})
+        sweeps.append(sweep)
+    return replace(spec, sweeps=tuple(sweeps))
+
+
 def _run_sweep(args) -> int:
     """``sweep``: run a campaign spec through the cached sweep engine."""
     import os
@@ -121,6 +150,8 @@ def _run_sweep(args) -> int:
             print(f"no spec file or built-in campaign {args.spec!r}; "
                   f"built-ins: {' '.join(builtin_names())}")
             return 2
+    if args.shards:
+        spec = _with_shards(spec, args.shards)
     result = run_campaign(
         spec, jobs=args.jobs, cache_dir=args.cache_dir, fresh=args.fresh,
         log=print,
@@ -272,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
                          "computed (CI cache check)")
     sweep_p.add_argument("--full", action="store_true",
                          help="full-fidelity grids for built-ins")
+    sweep_p.add_argument("--shards", type=int, default=0,
+                         help="run GS1280 event-driven points on the "
+                              "sharded scheduler backend with N shards "
+                              "(results are byte-identical; 0 = single "
+                              "heap)")
     sweep_p.add_argument("--seed", type=int, default=0,
                          help="seed forwarded to built-in campaigns")
     fuzz_p = sub.add_parser(

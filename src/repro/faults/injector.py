@@ -48,6 +48,8 @@ class FaultInjector:
         #: (time_ns, kind, outcome) per fired event, in firing order.
         self.log: list[tuple[float, str, str]] = []
         self._armed = False
+        #: Event handles from arm(), cancelled on simulator reset.
+        self._events: list = []
 
     def arm(self) -> None:
         """Schedule every event.  Call once, before the clock advances
@@ -56,9 +58,22 @@ class FaultInjector:
             raise RuntimeError("fault injector already armed")
         self._armed = True
         sim = self.system.sim
-        for ev in self.schedule.events:
+        self._events = [
             sim.schedule_at(ev.at_ns, self._fire, ev)
+            for ev in self.schedule.events
+        ]
+        # A reset simulator drops the scheduled fault events with the
+        # rest of its queue; the hook disarms this injector too, so the
+        # reused simulator cannot end up with a stale armed schedule
+        # (and a re-arm() after reset() schedules a fresh one).
+        sim.add_reset_hook(self._disarm)
         self._register_probes()
+
+    def _disarm(self) -> None:
+        for event in self._events:
+            event.cancel()
+        self._events = []
+        self._armed = False
 
     # ------------------------------------------------------------------
     def _fire(self, ev: FaultEvent) -> None:

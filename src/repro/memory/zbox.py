@@ -24,7 +24,7 @@ from typing import Callable
 
 from repro.config import MemoryConfig
 from repro.memory.rdram import RdramArray
-from repro.sim import Simulator
+from repro.sim.backend import SchedulerView
 
 __all__ = ["Zbox"]
 
@@ -52,7 +52,7 @@ class Zbox:
         "accesses_total",
     )
 
-    def __init__(self, sim: Simulator, node: int, config: MemoryConfig,
+    def __init__(self, sim: SchedulerView, node: int, config: MemoryConfig,
                  n_controllers: int = 2) -> None:
         if n_controllers < 1:
             raise ValueError("need at least one controller")

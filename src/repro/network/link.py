@@ -22,7 +22,7 @@ from collections import deque
 from typing import Callable
 
 from repro.network.packet import MessageClass, Packet
-from repro.sim import Simulator
+from repro.sim.backend import SchedulerView
 
 __all__ = ["Link", "DRAIN_ORDER"]
 
@@ -40,6 +40,7 @@ class Link:
 
     __slots__ = (
         "sim",
+        "dst_sim",
         "src",
         "dst",
         "bandwidth_gbps",
@@ -68,7 +69,7 @@ class Link:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SchedulerView,
         src: int,
         dst: int,
         bandwidth_gbps: float,
@@ -76,10 +77,18 @@ class Link:
         link_class: str,
         is_shuffle: bool = False,
         class_priority: bool = True,
+        dst_sim: SchedulerView | None = None,
     ) -> None:
         if bandwidth_gbps <= 0:
             raise ValueError("link bandwidth must be positive")
         self.sim = sim
+        # Where the head-arrival callback is scheduled.  On the
+        # single-heap backend this is the same simulator; on the sharded
+        # backend it is the *destination* node's view -- a link is the
+        # one model element whose events cross a shard boundary, and
+        # ``head_delay >= wire_ns >= lookahead`` is what makes that
+        # crossing safe (docs/sharding.md).
+        self.dst_sim = dst_sim if dst_sim is not None else sim
         self.src = src
         self.dst = dst
         self.bandwidth_gbps = bandwidth_gbps
@@ -220,7 +229,7 @@ class Link:
         # wire flight; first-link packets are stored-and-forwarded.
         head_delay = self.wire_ns + (ser_ns if not packet.serialized else 0.0)
         packet.serialized = True
-        sim.schedule(head_delay, on_arrival, packet)
+        self.dst_sim.schedule(head_delay, on_arrival, packet)
         sim.schedule(ser_ns, self._wire_free_cb)
 
     def _wire_free(self) -> None:

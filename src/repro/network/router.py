@@ -31,7 +31,7 @@ from repro.config import RouterConfig
 from repro.network.link import Link
 from repro.network.packet import Packet
 from repro.network.topology import Topology
-from repro.sim import Simulator
+from repro.sim.backend import SchedulerView
 
 __all__ = ["Router", "RoutingPolicy"]
 
@@ -73,7 +73,7 @@ class Router:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SchedulerView,
         node: int,
         topology: Topology,
         config: RouterConfig,

@@ -15,10 +15,30 @@ from __future__ import annotations
 import pickle
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map"]
+__all__ = ["ParallelWorkerError", "parallel_map", "shard_worker_pool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class ParallelWorkerError(RuntimeError):
+    """A worker's ``fn(item)`` raised.
+
+    Carries the submission ``index`` and the ``item`` itself so callers
+    can name the failing work unit (the campaign engine attaches the
+    point key); the original exception rides ``__cause__``.  Raised
+    only *after* every completed worker's telemetry delta has been
+    absorbed, so a mid-batch failure never silently discards the
+    counters of the runs that did finish.
+    """
+
+    def __init__(self, index: int, item: Any, cause: BaseException) -> None:
+        super().__init__(
+            f"worker failed on item {index}: {cause!r} (item={item!r})"
+        )
+        self.index = index
+        self.item = item
+        self.__cause__ = cause
 
 
 def _picklable(*objects: Any) -> bool:
@@ -47,13 +67,34 @@ class _TelemetryCarrier:
     def __init__(self, fn: Callable[[T], R]) -> None:
         self.fn = fn
 
-    def __call__(self, item: T) -> "tuple[R, dict[str, int]]":
+    def __call__(self, item: T) -> "tuple[bool, Any, dict[str, int]]":
         from repro.telemetry import CounterRegistry, global_registry
 
         before = global_registry().snapshot()
-        result = self.fn(item)
+        try:
+            result = self.fn(item)
+        except Exception as exc:
+            # Ship the failure home as data: letting it propagate
+            # through ``pool.map`` would abort the result iterator and
+            # silently drop the telemetry deltas of every worker that
+            # already finished (and a model-level RuntimeError would be
+            # mistaken for pool breakage by the infra fallback below).
+            delta = CounterRegistry.delta(before, global_registry().snapshot())
+            return False, exc, delta
         delta = CounterRegistry.delta(before, global_registry().snapshot())
-        return result, delta
+        return True, result, delta
+
+
+def _serial_map(fn: Callable[[T], R], seq: Sequence[T]) -> list[R]:
+    """The in-process path, with the same exception contract as the
+    pool path: failures name the item via ParallelWorkerError."""
+    results: list[R] = []
+    for index, item in enumerate(seq):
+        try:
+            results.append(fn(item))
+        except Exception as exc:
+            raise ParallelWorkerError(index, item, exc) from exc
+    return results
 
 
 def parallel_map(
@@ -69,12 +110,20 @@ def parallel_map(
     one item, when ``fn`` or an item cannot be pickled (e.g. a lambda
     closing over a simulator), or when the platform refuses to spawn
     worker processes.
+
+    If ``fn`` raises, every *completed* worker's telemetry delta is
+    still absorbed (submission order), then the earliest failure is
+    re-raised as :class:`ParallelWorkerError` naming the failing item
+    -- on the serial path too, so callers see one exception contract at
+    any job count; an exception escaping ``pool.map`` itself therefore
+    always means pool infrastructure breakage, which degrades to the
+    serial path.
     """
     seq: Sequence[T] = items if isinstance(items, (list, tuple)) else list(items)
     if jobs <= 1 or len(seq) <= 1:
-        return [fn(item) for item in seq]
+        return _serial_map(fn, seq)
     if not _picklable(fn, *seq):
-        return [fn(item) for item in seq]
+        return _serial_map(fn, seq)
     try:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -84,13 +133,67 @@ def parallel_map(
             outcomes = list(pool.map(_TelemetryCarrier(fn), seq))
     except (OSError, RuntimeError, ImportError):
         # No process support (restricted sandbox) -- quietly degrade.
-        return [fn(item) for item in seq]
+        # Worker fn exceptions never take this path: the carrier turns
+        # them into data above.
+        return _serial_map(fn, seq)
     from repro.telemetry import global_registry
 
     registry = global_registry()
     results: list[R] = []
-    for result, delta in outcomes:
-        # Submission order, so repeated runs merge identically.
+    failure: ParallelWorkerError | None = None
+    for index, (ok, payload, delta) in enumerate(outcomes):
+        # Submission order, so repeated runs merge identically -- and
+        # deltas are absorbed even for items after a failure, so the
+        # counters reflect all work that actually ran.
         registry.absorb(delta)
-        results.append(result)
+        if ok:
+            results.append(payload)
+        elif failure is None:
+            failure = ParallelWorkerError(index, seq[index], payload)
+    if failure is not None:
+        raise failure
     return results
+
+
+class ShardWorkerPool:
+    """Reusable thread fan-out for the sharded simulator's windows.
+
+    Threads, not processes: shard queues share the model object graph,
+    so they cannot cross a pickle boundary.  Under CPython's GIL this
+    buys nothing on pure-Python windows -- it exists so multi-core
+    hosts running GIL-releasing builds have the fan-out seam, and the
+    sharded backend keeps ``executor="serial"`` as its deterministic
+    default (see docs/sharding.md).
+    """
+
+    def __init__(self, jobs: int) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="shard"
+        )
+
+    def run(self, tasks: Sequence[tuple[Callable[..., Any], tuple]]) -> None:
+        """Run every ``(fn, args)`` task; propagates the first failure
+        after all tasks have settled (a half-run window must not leave
+        sibling shards mid-flight)."""
+        futures = [self._pool.submit(fn, *args) for fn, args in tasks]
+        failure: BaseException | None = None
+        for future in futures:
+            exc = future.exception()
+            if exc is not None and failure is None:
+                failure = exc
+        if failure is not None:
+            raise failure
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def shard_worker_pool(jobs: int) -> ShardWorkerPool | None:
+    """Build a :class:`ShardWorkerPool`, or ``None`` where the platform
+    refuses threads (the sharded backend then degrades serially)."""
+    try:
+        return ShardWorkerPool(jobs)
+    except (OSError, RuntimeError, ImportError):
+        return None

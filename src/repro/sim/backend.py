@@ -1,0 +1,120 @@
+"""The scheduling-backend interface every machine model runs on.
+
+:class:`SchedulerBackend` names the contract the component models
+(routers, links, Zboxes, coherence agents, load generators) actually
+depend on.  Two implementations exist:
+
+* :class:`~repro.sim.engine.Simulator` -- the in-process single-heap
+  kernel, the reference semantics: one global ``(time, seq)`` heap,
+  FIFO order for simultaneous events.
+* :class:`~repro.sim.sharded.ShardedSimulator` -- the torus partitioned
+  into per-shard event heaps synchronized by conservative lookahead;
+  observable event order is proven byte-identical to the single heap
+  (see ``docs/sharding.md`` and the differential oracle's
+  shard-identity legs).
+
+Models never hold the backend directly; they hold the **view** returned
+by :meth:`SchedulerBackend.view_for`, which routes their schedules to
+the right shard (and is the backend itself on the single-heap path, so
+that path stays bit-for-bit the pre-split code).
+
+The ABC is interface-only -- no state, no concrete behaviour -- so
+subclassing it costs nothing on the event hot path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Protocol, runtime_checkable
+
+__all__ = ["SchedulerBackend", "SchedulerView"]
+
+
+@runtime_checkable
+class SchedulerView(Protocol):
+    """What a *component model* (router, link, Zbox, agent, load
+    generator) needs from the handle :meth:`SchedulerBackend.view_for`
+    returns: local time plus relative/absolute scheduling.  The
+    single-heap backend is its own view; the sharded backend returns a
+    shard-routing proxy."""
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any): ...
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any): ...
+
+
+class SchedulerBackend(ABC):
+    """What a machine model requires of its event scheduler.
+
+    Attributes (documented, not enforced, to keep hot paths slot-free):
+
+    ``now``
+        Current simulation time in nanoseconds.  During a callback this
+        is the executing event's timestamp.
+    ``_check``
+        Invariant-checker handle (:mod:`repro.check`); ``None`` unless a
+        check session attached the owning system.
+    """
+
+    # -- scheduling -----------------------------------------------------
+    @abstractmethod
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any):
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now; returns a
+        cancellable event handle.  ``delay`` must be >= 0."""
+
+    @abstractmethod
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any):
+        """Schedule ``fn(*args)`` at an absolute timestamp (>= now)."""
+
+    # -- execution ------------------------------------------------------
+    @abstractmethod
+    def step(self) -> bool:
+        """Run the single earliest pending event; False once drained."""
+
+    @abstractmethod
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Run until drained or ``until`` (inclusive) is reached; when
+        stopping on ``until``, advance ``now`` to exactly ``until``."""
+
+    # -- introspection --------------------------------------------------
+    @property
+    @abstractmethod
+    def pending(self) -> int:
+        """Live (scheduled, unfired, uncancelled) event count; exact
+        mid-run."""
+
+    @property
+    @abstractmethod
+    def events_processed(self) -> int:
+        """Total events fired so far; exact mid-run."""
+
+    @property
+    @abstractmethod
+    def events_cancelled(self) -> int:
+        """Total events cancelled before firing."""
+
+    @abstractmethod
+    def has_pending_work(self) -> bool:
+        """True while any live event is queued."""
+
+    @abstractmethod
+    def stats(self) -> dict[str, float | int]:
+        """The kernel's hardware-counter equivalents as one dict."""
+
+    # -- lifecycle ------------------------------------------------------
+    @abstractmethod
+    def view_for(self, node: int) -> "SchedulerBackend":
+        """The scheduling handle node-``node`` components must use."""
+
+    @abstractmethod
+    def add_reset_hook(self, hook: Callable[[], None]) -> None:
+        """Register a disarm callable run first by :meth:`reset`."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Drop pending events, rewind to t=0, run reset hooks, and
+        detach the checker handle."""

@@ -31,6 +31,8 @@ from collections import deque
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
 
+from repro.sim.backend import SchedulerBackend
+
 __all__ = ["Event", "Simulator", "SimulationError"]
 
 
@@ -82,8 +84,8 @@ class Event:
         return f"<Event t={self.time:.3f}ns {name} ({state})>"
 
 
-class Simulator:
-    """A discrete-event simulator with nanosecond timestamps.
+class Simulator(SchedulerBackend):
+    """The in-process single-heap scheduling backend.
 
     Usage::
 
@@ -93,6 +95,10 @@ class Simulator:
 
     Events scheduled for the same instant fire in FIFO order, which makes
     model behaviour deterministic and independent of heap tie-breaking.
+    This is the reference implementation of
+    :class:`~repro.sim.backend.SchedulerBackend`; the sharded backend
+    (:class:`~repro.sim.sharded.ShardedSimulator`) reproduces its
+    observable event order exactly.
     """
 
     def __init__(self) -> None:
@@ -108,6 +114,10 @@ class Simulator:
         # Invariant checker (repro.check); None unless a check session
         # attached the owning system.
         self._check = None
+        # Callables run by reset() before state is cleared; components
+        # holding armed references into this simulator (fault injectors)
+        # register here so a reused simulator cannot replay stale state.
+        self._reset_hooks: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -246,7 +256,14 @@ class Simulator:
                 if chk is not None:
                     chk.event_time(etime, self.now, event)
                 self.now = etime
-                processed += 1
+                # Updated per event (not batched per run() call) so a
+                # telemetry probe sampling ``pending`` or ``stats()``
+                # from inside a callback sees exact counts; one int add
+                # and attribute store per event is below measurement
+                # noise on this loop (see BENCH_PR6.json).
+                self._events_processed += 1
+                if counting:
+                    processed += 1
                 event.fn(*event.args)
             if chk is not None:
                 # The queue truly drained (the break above, not an
@@ -255,9 +272,6 @@ class Simulator:
             if until is not None and until > self.now:
                 self.now = until
         finally:
-            # The processed counter is batched per run() call rather than
-            # updated per event -- nothing in the models reads it mid-run.
-            self._events_processed += processed
             self._running = False
 
     # ------------------------------------------------------------------
@@ -267,7 +281,9 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1): derived
         from the scheduled / fired / cancelled counters, so the schedule
-        hot path never maintains a separate tally)."""
+        hot path never maintains a separate tally).  Exact even mid-run:
+        the fired counter updates per event, so a probe sampling from
+        inside a callback never over-counts by the current batch."""
         return self._seq - self._events_processed - self._cancelled
 
     @property
@@ -276,10 +292,10 @@ class Simulator:
         return self._events_processed
 
     def has_pending_work(self) -> bool:
-        """True while any live (non-cancelled) event is queued.  Unlike
-        :attr:`pending` this is exact *mid-run* (the processed counter
-        is batched per ``run()`` call), which is what self-rescheduling
-        telemetry samplers need to decide whether the machine is idle."""
+        """True while any live (non-cancelled) event is queued.  What
+        self-rescheduling telemetry samplers use to decide whether the
+        machine is idle; unlike :attr:`pending` it also discards
+        cancelled queue heads as a side effect."""
         return self._peek() is not None
 
     @property
@@ -298,8 +314,34 @@ class Simulator:
             "pending": self.pending,
         }
 
+    def view_for(self, node: int) -> "Simulator":
+        """Per-node scheduling handle.  The single-heap backend has one
+        global queue, so every node shares this simulator; the sharded
+        backend returns a shard-routing view instead."""
+        return self
+
+    def add_reset_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable run by :meth:`reset` before state clears.
+
+        Components that arm long-lived references into this simulator
+        (a :class:`~repro.faults.FaultInjector` schedule, an attached
+        checker) register a disarm hook so a reused simulator starts
+        genuinely clean.
+        """
+        self._reset_hooks.append(hook)
+
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events, rewind the clock to zero, and disarm
+        anything wired into this simulator: registered reset hooks run
+        first (a fault injector's schedule disarms here, so a reused
+        simulator cannot fire stale fault events), then the attached
+        invariant checker handle is dropped."""
+        if self._running:
+            raise SimulationError("cannot reset() while running")
+        for hook in self._reset_hooks:
+            hook()
+        self._reset_hooks.clear()
+        self._check = None
         self._queue.clear()
         self._immediate.clear()
         self.now = 0.0

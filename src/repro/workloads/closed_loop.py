@@ -58,7 +58,7 @@ def run_closed_loop(
         raise ValueError("need one picker per CPU")
     generators = [
         LoadGenerator(
-            system.sim,
+            system.sim_view(cpu),
             system.agent(cpu),
             pick=pickers[cpu],
             outstanding=outstanding,

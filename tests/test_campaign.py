@@ -9,6 +9,7 @@ from pathlib import Path
 import pytest
 
 from repro.campaign import (
+    CampaignPointError,
     CampaignSpec,
     ResultCache,
     SweepSpec,
@@ -169,6 +170,30 @@ class TestCacheKey:
             '{"a":[true,null],"b":1}'
         )
 
+    def test_shards_is_an_execution_param_not_a_key_field(self):
+        """The scheduler backend cannot change a result (the oracle
+        proves byte-identity), so ``shards`` must not fragment the
+        cache: any shard count maps to the same entry."""
+        base = {"system": "GS1280", "cpus": 16, "outstanding": 4,
+                "seed": 0}
+        keys = {
+            point_key("load_test", {**base, "shards": s} if s is not None
+                      else base)
+            for s in (None, 0, 2, 4)
+        }
+        assert len(keys) == 1
+
+    def test_cache_hit_crosses_shard_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        params4 = {"system": "GS1280", "cpus": 16, "outstanding": 4,
+                   "seed": 0, "shards": 4}
+        params0 = {k: v for k, v in params4.items() if k != "shards"}
+        key = cache.key("load_test", params4)
+        assert key == cache.key("load_test", params0)
+        cache.store(key, "load_test", params4, {"completed": 7}, 0.1)
+        entry = cache.load(key, "load_test", params0)
+        assert entry is not None and entry["result"] == {"completed": 7}
+
 
 class TestEngine:
     def test_in_memory_run(self):
@@ -258,8 +283,52 @@ class TestEngine:
             sweeps=(SweepSpec(name="s", kind="nope",
                               grid={"cpus": [1]}),),
         )
-        with pytest.raises(KeyError, match="unknown point kind"):
+        with pytest.raises(CampaignPointError) as info:
             run_campaign(spec)
+        assert isinstance(info.value.__cause__, KeyError)
+        assert "unknown point kind" in str(info.value.__cause__)
+
+
+class TestPointFailure:
+    """A worker failure must name the failing point (its content key),
+    at any job count, with the original exception chained."""
+
+    def bad_spec(self):
+        # GS320 rejects the shuffle knob -> run_point raises ValueError.
+        return CampaignSpec(
+            name="boom",
+            sweeps=(
+                SweepSpec(name="ok-then-bad", kind="stream",
+                          base={"kernel": "triad", "system": "GS1280"},
+                          grid={"cpus": [2]}),
+                SweepSpec(name="bad", kind="load_test",
+                          base={"system": "GS320", "cpus": 8,
+                                "outstanding": 4, "shuffle": True}),
+            ),
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_carries_point_key(self, jobs):
+        spec = self.bad_spec()
+        with pytest.raises(CampaignPointError) as info:
+            run_campaign(spec, jobs=jobs)
+        err = info.value
+        bad = expand_points(spec)[1]
+        assert err.key == bad.key
+        assert err.kind == "load_test"
+        assert err.params == bad.params
+        assert isinstance(err.__cause__, ValueError)
+        assert err.key[:12] in str(err)
+
+    def test_completed_points_persist_before_failure(self, tmp_path):
+        """The point computed before the failing one is already in the
+        cache, so the retried campaign resumes instead of recomputing."""
+        spec = self.bad_spec()
+        with pytest.raises(CampaignPointError):
+            run_campaign(spec, cache_dir=tmp_path)
+        good = expand_points(spec)[0]
+        entry = ResultCache(tmp_path).load(good.key, good.kind, good.params)
+        assert entry is not None
 
 
 class TestCacheCorruption:

@@ -222,6 +222,28 @@ class TestFaultInjector:
         with pytest.raises(ValueError, match="TorusFabric"):
             FaultInjector(system, FaultSchedule.link_failures(1.0, [(0, 1)]))
 
+    @pytest.mark.parametrize("shards", [0, 2])
+    def test_reset_disarms_schedule(self, shards):
+        """Regression: ``sim.reset()`` must cancel the armed fault
+        events and disarm the injector -- a reused simulator would
+        otherwise fire a stale schedule into the next run."""
+        schedule = FaultSchedule.link_failures(500.0, [(0, 1)])
+        system = make_system(fault_schedule=schedule, shards=shards)
+        injector = system.fault_injector
+        assert injector._armed
+        system.sim.reset()
+        assert not injector._armed and injector._events == []
+        system.sim.run(until=1000.0)
+        assert injector.fired == 0
+        assert system.topology.failed_links() == []
+        # After another reset (clock back to 0) a re-arm schedules a
+        # fresh copy that fires normally.
+        system.sim.reset()
+        injector.arm()
+        system.sim.run(until=1000.0)
+        assert injector.fired == 1
+        assert system.topology.failed_links() == [(0, 1)]
+
     def test_arming_twice_rejected(self):
         system = make_system()
         injector = FaultInjector(

@@ -220,6 +220,41 @@ def _square(n):
     return n * n
 
 
+def _square_unless_three(n):
+    if n == 3:
+        raise ValueError(f"bad item {n}")
+    from repro.telemetry import global_registry
+
+    global_registry().counter("test.parallel.survivors").value += 1
+    return n * n
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_parallel_map_failure_names_item(jobs):
+    """A worker exception surfaces as ParallelWorkerError carrying the
+    failing item and index -- same contract on the serial path as on
+    the pool path -- and the telemetry deltas of every item that *did*
+    run are absorbed, not dropped with the aborted batch."""
+    from repro.parallel import ParallelWorkerError
+    from repro.telemetry import global_registry
+
+    counter = global_registry().counter("test.parallel.survivors")
+    before = counter.value
+    with pytest.raises(ParallelWorkerError) as info:
+        parallel_map(_square_unless_three, list(range(6)), jobs=jobs)
+    err = info.value
+    assert err.index == 3
+    assert err.item == 3
+    assert isinstance(err.__cause__, ValueError)
+    survivors = counter.value - before
+    # jobs=1 stops at the failure; the pool settles every worker first
+    # (unless the platform degraded it to the serial path).
+    if jobs == 1:
+        assert survivors == 3
+    else:
+        assert survivors in (3, 5)
+
+
 def test_latency_map_parallel_equals_serial():
     factory = functools.partial(GS1280System, 8)
     assert latency_map(factory, 8, jobs=4) == latency_map(factory, 8)
