@@ -71,6 +71,34 @@ def _paper_core(fast: bool = True, seed: int = 0) -> CampaignSpec:
     )
 
 
+def _traffic_smoke(fast: bool = True, seed: int = 0) -> CampaignSpec:
+    """Seconds-long traffic campaign for CI: the default mix (diurnal +
+    MMPP + Pareto all exercised) at two populations on 8P, plus one
+    fast capacity bisection."""
+    base = {
+        "system": "GS1280", "cpus": 8, "mix": "default", "seed": seed,
+        "warmup_ns": 1000.0, "window_ns": 2000.0,
+    }
+    return CampaignSpec(
+        name="traffic-smoke",
+        description="CI traffic smoke: two populations + one bisection",
+        sweeps=(
+            SweepSpec(
+                name="points",
+                kind="traffic",
+                base=base,
+                grid={"users": [8000, 20000]},
+            ),
+            SweepSpec(
+                name="capacity",
+                kind="capacity",
+                base={**base, "users_lo": 4000, "users_hi": 16000,
+                      "rel_tol": 0.15},
+            ),
+        ),
+    )
+
+
 def _experiment_campaign(module_name: str) -> Callable[..., CampaignSpec]:
     def build(fast: bool = True, seed: int = 0) -> CampaignSpec:
         import importlib
@@ -91,6 +119,8 @@ BUILTIN_CAMPAIGNS: dict[str, Callable[..., CampaignSpec]] = {
     "fig25": _experiment_campaign("fig25_striping_degradation"),
     "ext03": _experiment_campaign("ext03_shuffle16"),
     "ext04": _experiment_campaign("ext04_failover"),
+    "ext05": _experiment_campaign("ext05_capacity"),
+    "traffic-smoke": _traffic_smoke,
 }
 
 

@@ -28,6 +28,18 @@ Kinds:
     armed: ``{system, cpus, outstanding, seed, warmup_ns, window_ns,
     n_windows, fault_schedule?, retry?}`` -> the per-window series plus
     drop/retry totals (ext04).
+``traffic``
+    One open-arrival traffic point -- a mix at a user population:
+    ``{system, cpus, mix, users, seed, warmup_ns, window_ns,
+    drain_factor?, max_outstanding?, fault_schedule?, retry?}`` ->
+    per-class percentiles/attainment plus offered/delivered rates
+    (ext05 probes).
+``capacity``
+    One whole capacity plan -- bisection of ``users`` between
+    ``users_lo`` and ``users_hi`` until every SLO class holds:
+    ``{system, cpus, mix, seed, users_lo?, users_hi?, rel_tol?,
+    min_attainment?, ...traffic knobs}`` -> ``{max_users, probes,
+    ...}`` (ext05).
 """
 
 from __future__ import annotations
@@ -215,6 +227,28 @@ def _run_striping(params: Mapping[str, Any]) -> dict:
     return {"degradation": max(0.0, 1.0 - striped / base)}
 
 
+def _run_traffic(params: Mapping[str, Any]) -> dict:
+    from repro.traffic import mix_from_params, run_traffic
+
+    result = run_traffic(
+        _system_factory(params),
+        mix_from_params(params.get("mix", "default")),
+        users=float(params["users"]),
+        seed=int(params.get("seed", 0)),
+        warmup_ns=float(params.get("warmup_ns", 2000.0)),
+        window_ns=float(params.get("window_ns", 6000.0)),
+        drain_factor=float(params.get("drain_factor", 3.0)),
+        max_outstanding=int(params.get("max_outstanding", 8)),
+    )
+    return result.to_dict()
+
+
+def _run_capacity(params: Mapping[str, Any]) -> dict:
+    from repro.traffic.planner import run_capacity_point
+
+    return run_capacity_point(params)
+
+
 POINT_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
     "stream": _run_stream,
     "latency_map": _run_latency_map,
@@ -222,6 +256,8 @@ POINT_KINDS: dict[str, Callable[[Mapping[str, Any]], dict]] = {
     "failover": _run_failover,
     "load_test": _run_load_test,
     "striping": _run_striping,
+    "traffic": _run_traffic,
+    "capacity": _run_capacity,
 }
 
 

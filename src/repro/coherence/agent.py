@@ -63,8 +63,11 @@ class CoherenceAgent:
         # Statistics.
         self.completed: dict[str, int] = {}
         self.latency_sum_ns: dict[str, float] = {}
-        self.latencies: list[float] = []
-        self.record_latencies = False
+        # Optional per-transaction latency sink: anything with a
+        # ``record(latency_ns)`` method (the workload runners attach a
+        # bounded-memory streaming histogram).  None keeps the
+        # completion path free of the extra call.
+        self.latency_sink = None
         self.timeouts_total = 0
         self.retries_total = 0
         self.retries_exhausted_total = 0
@@ -430,8 +433,9 @@ class CoherenceAgent:
         self.latency_sum_ns[txn.op] = (
             self.latency_sum_ns.get(txn.op, 0.0) + txn.latency_ns
         )
-        if self.record_latencies:
-            self.latencies.append(txn.latency_ns)
+        sink = self.latency_sink
+        if sink is not None:
+            sink.record(txn.latency_ns)
         txn.on_complete(txn)
 
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ from repro.experiments import (
     ext02_io_contention,
     ext03_shuffle16,
     ext04_failover,
+    ext05_capacity,
     fig01_specfp_rate,
     fig04_dependent_load,
     fig05_stride_surface,
@@ -70,6 +71,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext02": ext02_io_contention.run,
     "ext03": ext03_shuffle16.run,
     "ext04": ext04_failover.run,
+    "ext05": ext05_capacity.run,
 }
 
 

@@ -101,7 +101,8 @@ def _run_traced(args) -> int:
 #: Point kinds that build an event-driven GS1280 and therefore accept
 #: the ``shards`` execution knob.
 _SHARDABLE_KINDS = frozenset(
-    {"load_test", "failover", "latency_map", "latency_avg"}
+    {"load_test", "failover", "latency_map", "latency_avg",
+     "traffic", "capacity"}
 )
 
 
@@ -166,6 +167,58 @@ def _run_sweep(args) -> int:
               "point(s)")
         return 1
     return 0
+
+
+def _run_capacity(args) -> int:
+    """``capacity``: bisect the user population for one machine."""
+    import json as _json
+    import os
+
+    from repro.traffic import mix_from_params
+    from repro.traffic.planner import plan_capacity_cached
+
+    if os.path.exists(args.mix):
+        with open(args.mix) as handle:
+            mix_value = _json.load(handle)
+    else:
+        mix_value = args.mix
+    mix = mix_from_params(mix_value)  # validate before any probe runs
+    params = {
+        "system": args.system, "cpus": args.cpus,
+        "mix": mix_value if isinstance(mix_value, str) else mix.to_dict(),
+        "seed": args.seed, "warmup_ns": args.warmup_ns,
+        "window_ns": args.window_ns,
+        "users_lo": args.users_lo, "users_hi": args.users_hi,
+        "rel_tol": args.rel_tol,
+    }
+    if args.shards:
+        params["shards"] = args.shards
+    slo = {tc.name: tc.slo_p99_ns for tc in mix.slo_classes()}
+    if not slo:
+        print("mix has no SLO-bearing class; nothing to plan against")
+        return 2
+    targets = ", ".join(f"{k} p99<={v:.0f}ns" for k, v in sorted(slo.items()))
+    print(f"planning {args.system} {args.cpus}P against {targets}")
+    plan = plan_capacity_cached(params, cache_dir=args.cache_dir, log=print)
+    for probe in plan.probes:
+        p99s = ", ".join(
+            f"{k}={v:.0f}ns" if v is not None else f"{k}=-"
+            for k, v in sorted(probe.p99_ns.items())
+        )
+        verdict = "ok" if probe.ok else "OVER"
+        print(f"  users={probe.users:>8d}  {verdict:>4s}  {p99s}")
+    if plan.saturated_search:
+        print(f"max users >= {plan.max_users} (search cap reached)")
+    elif plan.max_users == 0:
+        print(f"INFEASIBLE even at the {args.users_lo}-user floor")
+    else:
+        print(f"max users = {plan.max_users} "
+              f"(first infeasible {plan.infeasible_users})")
+    if args.json_out is not None:
+        with open(args.json_out, "w") as handle:
+            _json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"  [plan -> {args.json_out}]")
+    return 0 if plan.max_users else 1
 
 
 def _run_fuzz(args) -> int:
@@ -310,6 +363,30 @@ def main(argv: list[str] | None = None) -> int:
                               "heap)")
     sweep_p.add_argument("--seed", type=int, default=0,
                          help="seed forwarded to built-in campaigns")
+    cap_p = sub.add_parser(
+        "capacity", help="bisect the max user population a machine "
+        "sustains at its p99 SLO (open-arrival traffic)")
+    cap_p.add_argument("--system", default="GS1280",
+                       choices=["GS1280", "GS320"])
+    cap_p.add_argument("--cpus", type=int, default=16)
+    cap_p.add_argument("--mix", default="default",
+                       help="built-in mix name or a TrafficMix JSON file")
+    cap_p.add_argument("--users-lo", type=int, default=1000,
+                       help="population floor (also the bracket start)")
+    cap_p.add_argument("--users-hi", type=int, default=16000,
+                       help="initial bracket ceiling (doubled as needed)")
+    cap_p.add_argument("--rel-tol", type=float, default=0.05,
+                       help="stop when the bracket is this tight")
+    cap_p.add_argument("--warmup-ns", type=float, default=1000.0)
+    cap_p.add_argument("--window-ns", type=float, default=3000.0)
+    cap_p.add_argument("--seed", type=int, default=0)
+    cap_p.add_argument("--cache-dir", metavar="DIR",
+                       default=".gs1280-cache",
+                       help="probe cache (shared with sweep campaigns)")
+    cap_p.add_argument("--shards", type=int, default=0,
+                       help="sharded scheduler backend (byte-identical)")
+    cap_p.add_argument("--json-out", metavar="PATH",
+                       help="write the full plan (probe trail) as JSON")
     fuzz_p = sub.add_parser(
         "fuzz", help="sweep random machines x workloads with invariant "
         "checkers armed")
@@ -351,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "capacity":
+        return _run_capacity(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "oracle":

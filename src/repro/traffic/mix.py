@@ -1,0 +1,277 @@
+"""Declarative multi-tenant traffic mixes.
+
+A :class:`TrafficMix` maps named tenant classes onto CPU subsets of one
+machine: each :class:`TenantClass` owns an arrival-process *shape*
+(:mod:`repro.traffic.arrivals`), a memory-reference pattern, an
+operation type, a priority, and optionally a p99 latency SLO.  Like
+:class:`~repro.faults.FaultSchedule`, a mix is plain data -- frozen,
+JSON round-trippable, campaign-grid safe -- and the sweep cache keys on
+its canonical dict form.
+
+**User population scaling.**  Absolute load is *not* in the mix.  A
+mix says how a population behaves (class weights, burst shapes,
+placement); the traffic point's ``users`` parameter says how large the
+population is.  Offered transaction rate for class ``c`` on a machine:
+
+    rate_c (txn/ns) = users * txn_per_user_s * 1e-9 * c.weight
+
+spread uniformly over the CPUs the class runs on.  The capacity
+planner bisects ``users`` alone, holding the mix fixed -- exactly the
+"how many users does this machine hold" question.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.traffic.arrivals import ArrivalSpec, arrival_from_dict
+
+__all__ = [
+    "PATTERNS",
+    "TenantClass",
+    "TrafficMix",
+    "default_mix",
+    "mix_from_params",
+]
+
+#: Memory-reference patterns a tenant class can issue.
+PATTERNS = ("uniform_remote", "uniform", "local", "hotspot")
+
+_OPS = ("read", "update")
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One named traffic class of the service mix.
+
+    ``weight`` is this class's share of the population's total
+    transaction rate.  ``cpus`` restricts the class to a CPU subset
+    (``None`` = every CPU; classes may overlap -- multi-tenancy).
+    ``priority`` orders admission when a CPU's issue slots are full:
+    lower values issue first.  ``slo_p99_ns`` marks the class as
+    SLO-bearing for the capacity planner.
+    """
+
+    name: str
+    arrival: ArrivalSpec
+    weight: float = 1.0
+    pattern: str = "uniform_remote"
+    op: str = "read"
+    cpus: tuple[int, ...] | None = None
+    priority: int = 1
+    slo_p99_ns: float | None = None
+    hotspot_node: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant class needs a non-empty name")
+        if not isinstance(self.arrival, ArrivalSpec):
+            raise TypeError(
+                f"arrival must be an ArrivalSpec, got "
+                f"{type(self.arrival).__name__}"
+            )
+        if not self.weight > 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.pattern not in PATTERNS:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; known: {PATTERNS}"
+            )
+        if self.op not in _OPS:
+            raise ValueError(f"op must be one of {_OPS}, got {self.op!r}")
+        if self.cpus is not None:
+            cpus = tuple(int(c) for c in self.cpus)
+            if not cpus:
+                raise ValueError(f"class {self.name!r}: empty cpu subset")
+            if len(set(cpus)) != len(cpus):
+                raise ValueError(f"class {self.name!r}: duplicate cpus")
+            object.__setattr__(self, "cpus", cpus)
+        if self.slo_p99_ns is not None and not self.slo_p99_ns > 0:
+            raise ValueError("slo_p99_ns must be positive when set")
+        if self.hotspot_node < 0:
+            raise ValueError("hotspot_node must be >= 0")
+
+    def cpus_on(self, n_cpus: int) -> tuple[int, ...]:
+        """The concrete CPU set on an ``n_cpus`` machine."""
+        if self.cpus is None:
+            return tuple(range(n_cpus))
+        bad = [c for c in self.cpus if not 0 <= c < n_cpus]
+        if bad:
+            raise ValueError(
+                f"class {self.name!r} names cpus {bad} outside the "
+                f"{n_cpus}-CPU machine"
+            )
+        return self.cpus
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "arrival": self.arrival.to_dict(),
+            "weight": self.weight,
+            "pattern": self.pattern,
+            "op": self.op,
+            "cpus": list(self.cpus) if self.cpus is not None else None,
+            "priority": self.priority,
+            "slo_p99_ns": self.slo_p99_ns,
+            "hotspot_node": self.hotspot_node,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TenantClass":
+        cpus = data.get("cpus")
+        return cls(
+            name=str(data["name"]),
+            arrival=arrival_from_dict(data["arrival"]),
+            weight=float(data.get("weight", 1.0)),
+            pattern=str(data.get("pattern", "uniform_remote")),
+            op=str(data.get("op", "read")),
+            cpus=tuple(int(c) for c in cpus) if cpus is not None else None,
+            priority=int(data.get("priority", 1)),
+            slo_p99_ns=(float(data["slo_p99_ns"])
+                        if data.get("slo_p99_ns") is not None else None),
+            hotspot_node=int(data.get("hotspot_node", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """An immutable set of tenant classes plus the per-user rate.
+
+    ``txn_per_user_s`` converts a user population into offered
+    transaction rate: one "user" generates this many coherent memory
+    transactions per second of simulated time (a service request fans
+    out into many remote references; the default models a modest
+    transactional user).
+    """
+
+    classes: tuple[TenantClass, ...]
+    txn_per_user_s: float = 20_000.0
+
+    def __post_init__(self) -> None:
+        classes = tuple(self.classes)
+        if not classes:
+            raise ValueError("a traffic mix needs at least one class")
+        for tc in classes:
+            if not isinstance(tc, TenantClass):
+                raise TypeError(
+                    f"expected TenantClass, got {type(tc).__name__}"
+                )
+        names = [tc.name for tc in classes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate tenant class names {dupes}")
+        if not self.txn_per_user_s > 0:
+            raise ValueError("txn_per_user_s must be positive")
+        object.__setattr__(self, "classes", classes)
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(tc.weight for tc in self.classes)
+
+    def class_rate_per_ns(self, tc: TenantClass, users: float) -> float:
+        """Class ``tc``'s offered aggregate rate at ``users`` users."""
+        share = tc.weight / self.total_weight
+        return users * self.txn_per_user_s * 1e-9 * share
+
+    def slo_classes(self) -> tuple[TenantClass, ...]:
+        return tuple(tc for tc in self.classes if tc.slo_p99_ns is not None)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "txn_per_user_s": self.txn_per_user_s,
+            "classes": [tc.to_dict() for tc in self.classes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficMix":
+        return cls(
+            classes=tuple(
+                TenantClass.from_dict(tc) for tc in data.get("classes", ())
+            ),
+            txn_per_user_s=float(data.get("txn_per_user_s", 20_000.0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrafficMix":
+        return cls.from_dict(json.loads(text))
+
+
+def mix_from_params(value: Any) -> TrafficMix:
+    """Coerce a campaign/CLI parameter into a :class:`TrafficMix`.
+
+    Accepts a ready mix, its dict form, a bare list of class dicts, or
+    a built-in mix name (currently ``"default"``).
+    """
+    if isinstance(value, TrafficMix):
+        return value
+    if isinstance(value, str):
+        if value == "default":
+            return default_mix()
+        raise ValueError(
+            f"unknown built-in mix {value!r}; known: ['default']"
+        )
+    if isinstance(value, Mapping):
+        return TrafficMix.from_dict(value)
+    if isinstance(value, Sequence):
+        return TrafficMix(
+            classes=tuple(TenantClass.from_dict(tc) for tc in value)
+        )
+    raise TypeError(f"cannot build a TrafficMix from {type(value).__name__}")
+
+
+def default_mix(slo_p99_ns: float = 1200.0) -> TrafficMix:
+    """The reference three-tenant service mix used by ext05.
+
+    * ``oltp`` -- bursty (MMPP) uniform-remote reads, the
+      latency-critical tenant carrying the p99 SLO; highest priority.
+    * ``stream`` -- diurnal local streaming reads (the STREAM-like
+      batch tenant soaking up memory bandwidth at its own nodes).
+    * ``analytics`` -- heavy-tailed (Pareto) scatter updates across the
+      whole machine; lowest priority, no SLO.
+    """
+    from repro.traffic.arrivals import (
+        DiurnalArrivals,
+        MMPPArrivals,
+        ParetoArrivals,
+    )
+
+    return TrafficMix(
+        classes=(
+            TenantClass(
+                name="oltp",
+                arrival=MMPPArrivals(rates_per_ns=(2.0, 0.25),
+                                     dwell_ns=(400.0, 1200.0)),
+                weight=0.5,
+                pattern="uniform_remote",
+                op="read",
+                priority=0,
+                slo_p99_ns=slo_p99_ns,
+            ),
+            TenantClass(
+                name="stream",
+                arrival=DiurnalArrivals(peak_rate_per_ns=1.0,
+                                        trough_fraction=0.25,
+                                        period_ns=4000.0),
+                weight=0.3,
+                pattern="local",
+                op="read",
+                priority=1,
+            ),
+            TenantClass(
+                name="analytics",
+                arrival=ParetoArrivals(rate_per_ns=1.0, alpha=1.5),
+                weight=0.2,
+                pattern="uniform",
+                op="update",
+                priority=2,
+            ),
+        ),
+        txn_per_user_s=20_000.0,
+    )

@@ -51,8 +51,12 @@ def run_closed_loop(
 ) -> ClosedLoopResult:
     """Drive every CPU with its picker; measure after warm-up.
 
-    ``record_percentiles`` additionally captures every transaction's
-    latency and reports p50/p95/p99 (tail behaviour under load).
+    ``record_percentiles`` additionally streams every transaction's
+    latency into a per-agent log-bucketed histogram
+    (:class:`~repro.traffic.histogram.LatencyHistogram`) and reports
+    p50/p95/p99 (tail behaviour under load).  Memory stays O(buckets)
+    regardless of window length; percentiles land within the bucket
+    resolution (~2%) of exact capture.
     """
     if len(pickers) != system.n_cpus:
         raise ValueError("need one picker per CPU")
@@ -84,9 +88,10 @@ def run_closed_loop(
     for gen in generators:
         gen.begin_measurement()
     if record_percentiles:
+        from repro.traffic.histogram import LatencyHistogram
+
         for agent in system.agents:
-            agent.record_latencies = True
-            agent.latencies.clear()
+            agent.latency_sink = LatencyHistogram()
     system.run(until_ns=warmup_ns + window_ns)
     for gen in generators:
         gen.end_measurement()
@@ -96,14 +101,13 @@ def run_closed_loop(
         raise RuntimeError("no transactions completed in the window")
     percentiles = None
     if record_percentiles:
-        samples = sorted(
-            value for agent in system.agents for value in agent.latencies
+        from repro.traffic.histogram import LatencyHistogram
+
+        merged = LatencyHistogram.merged(
+            [agent.latency_sink for agent in system.agents]
         )
-        if samples:
-            percentiles = {
-                p: samples[min(len(samples) - 1, int(len(samples) * p / 100))]
-                for p in (50, 95, 99)
-            }
+        if merged.n:
+            percentiles = dict(merged.percentiles((50, 95, 99)))
     return ClosedLoopResult(
         n_cpus=system.n_cpus,
         outstanding=outstanding,

@@ -19,7 +19,7 @@ ALL_IDS = [
     "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "tab01",
     "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
     "fig25", "fig26", "fig27", "fig28", "ext01", "ext02", "ext03",
-    "ext04",
+    "ext04", "ext05",
 ]
 
 

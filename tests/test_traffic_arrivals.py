@@ -1,0 +1,115 @@
+"""Arrival-process specs: validation, rates, determinism, JSON."""
+
+import json
+
+import pytest
+
+from repro.sim import RngFactory
+from repro.traffic import (
+    ARRIVAL_KINDS,
+    DiurnalArrivals,
+    MMPPArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+    arrival_from_dict,
+)
+
+ALL_SPECS = [
+    PoissonArrivals(rate_per_ns=0.5),
+    MMPPArrivals(rates_per_ns=(2.0, 0.25), dwell_ns=(400.0, 1200.0)),
+    DiurnalArrivals(peak_rate_per_ns=1.0, trough_fraction=0.25,
+                    period_ns=4000.0),
+    ParetoArrivals(rate_per_ns=1.0, alpha=1.5),
+]
+
+
+def draw(spec, seed=0, horizon_ns=50_000.0):
+    rng = RngFactory(seed).stream(f"arrival-test-{spec.kind}")
+    gen = spec.generator(rng, 0.0)
+    times = []
+    t = gen.next_ns()
+    while t <= horizon_ns:
+        times.append(t)
+        t = gen.next_ns()
+    return times
+
+
+class TestValidation:
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_ns=0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_ns=-1.0)
+        with pytest.raises(ValueError):
+            ParetoArrivals(rate_per_ns=1.0, alpha=1.0)  # needs alpha > 1
+        with pytest.raises(ValueError):
+            DiurnalArrivals(peak_rate_per_ns=1.0, trough_fraction=1.5)
+
+    def test_mmpp_shape_validated(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(rates_per_ns=(1.0,), dwell_ns=(10.0, 20.0))
+        with pytest.raises(ValueError):
+            MMPPArrivals(rates_per_ns=(), dwell_ns=())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_from_dict({"kind": "fractal"})
+
+
+class TestRates:
+    def test_registry_covers_all_specs(self):
+        assert {s.kind for s in ALL_SPECS} == set(ARRIVAL_KINDS)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_empirical_rate_matches_mean(self, spec):
+        times = draw(spec, horizon_ns=200_000.0)
+        empirical = len(times) / 200_000.0
+        # Pareto converges slowest; a generous band still catches a
+        # wrongly-scaled xm or a dropped phase.
+        assert empirical == pytest.approx(spec.mean_rate_per_ns, rel=0.25)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_scaled_doubles_rate(self, spec):
+        doubled = spec.scaled(2.0)
+        assert doubled.mean_rate_per_ns == pytest.approx(
+            2.0 * spec.mean_rate_per_ns
+        )
+        assert doubled.kind == spec.kind
+
+    def test_diurnal_rate_curve_peaks_and_troughs(self):
+        spec = DiurnalArrivals(peak_rate_per_ns=1.0, trough_fraction=0.2,
+                               period_ns=4000.0)
+        assert spec.rate_at(0.0) == pytest.approx(1.0)
+        assert spec.rate_at(2000.0) == pytest.approx(0.2)
+        assert spec.rate_at(4000.0) == pytest.approx(1.0)
+
+    def test_mmpp_mean_is_dwell_weighted(self):
+        spec = MMPPArrivals(rates_per_ns=(2.0, 0.5),
+                            dwell_ns=(100.0, 300.0))
+        expected = (2.0 * 100.0 + 0.5 * 300.0) / 400.0
+        assert spec.mean_rate_per_ns == pytest.approx(expected)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_same_seed_same_schedule(self, spec):
+        assert draw(spec, seed=4) == draw(spec, seed=4)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_different_seed_different_schedule(self, spec):
+        assert draw(spec, seed=1) != draw(spec, seed=2)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_strictly_increasing(self, spec):
+        times = draw(spec)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_json_round_trip_preserves_schedule(self, spec):
+        text = json.dumps(spec.to_dict(), sort_keys=True)
+        back = arrival_from_dict(json.loads(text))
+        assert back == spec
+        assert json.dumps(back.to_dict(), sort_keys=True) == text
+        assert draw(back, seed=9) == draw(spec, seed=9)

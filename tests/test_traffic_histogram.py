@@ -1,0 +1,203 @@
+"""LatencyHistogram: accuracy vs exact capture, merging, memory."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.sim import RngFactory
+from repro.systems import GS1280System
+from repro.traffic import LatencyHistogram
+from repro.workloads.closed_loop import run_closed_loop
+from repro.workloads.loadtest import make_random_remote_picker
+
+
+def exact_percentile(samples, p):
+    """The exact-capture convention the histogram replaced."""
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * p / 100))]
+
+
+class TestRecording:
+    def test_counts_and_moments(self):
+        h = LatencyHistogram()
+        for v in (100.0, 200.0, 400.0):
+            h.record(v)
+        assert h.n == len(h) == 3
+        assert h.mean_ns == pytest.approx(700.0 / 3)
+        assert h.min_ns == 100.0
+        assert h.max_ns == 400.0
+
+    def test_empty_raises(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.mean_ns
+        with pytest.raises(ValueError):
+            h.percentile(50)
+        with pytest.raises(ValueError):
+            h.percentiles((50, 99))
+
+    def test_percentile_bounds_validated(self):
+        h = LatencyHistogram()
+        h.record(1.0)
+        for bad in (0.0, -1.0, 100.5):
+            with pytest.raises(ValueError):
+                h.percentile(bad)
+
+    def test_bad_buckets_per_octave(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(0)
+
+    def test_floor_clamps_degenerate_values(self):
+        h = LatencyHistogram()
+        h.record(0.0)
+        h.record(-5.0)  # degenerate; must not explode in log2
+        assert h.n == 2
+        assert h.percentile(50) >= 0.0
+
+    def test_single_sample_is_exact(self):
+        h = LatencyHistogram()
+        h.record(123.456)
+        # Clamping to tracked min/max makes one-sample percentiles exact.
+        assert h.percentile(50) == pytest.approx(123.456)
+        assert h.percentile(99.9) == pytest.approx(123.456)
+
+
+class TestAccuracy:
+    #: Half-bucket relative error at 16 buckets/octave, plus margin.
+    TOL = 2 ** (1 / 16) - 1
+
+    def test_relative_error_bounded_lognormal(self):
+        rng = random.Random(7)
+        samples = [math.exp(rng.gauss(6.0, 1.2)) for _ in range(20_000)]
+        h = LatencyHistogram()
+        for v in samples:
+            h.record(v)
+        for p in (50, 90, 95, 99, 99.9):
+            exact = exact_percentile(samples, p)
+            assert h.percentile(p) == pytest.approx(exact, rel=self.TOL)
+
+    def test_multi_percentile_pass_matches_single(self):
+        rng = random.Random(3)
+        h = LatencyHistogram()
+        for _ in range(5_000):
+            h.record(rng.expovariate(1 / 400.0))
+        multi = h.percentiles((50, 95, 99, 99.9))
+        for p, value in multi.items():
+            assert value == h.percentile(p)
+        assert multi[50] <= multi[95] <= multi[99] <= multi[99.9]
+
+    def test_closed_loop_regression_vs_exact_capture(self, monkeypatch):
+        """Satellite check: the streaming path that replaced ext01's
+        full capture stays within bucket resolution of it.
+
+        A patched histogram subclass tees every sample the runner
+        records into an exact list, so both estimators see the exact
+        same window of the exact same run.
+        """
+        import repro.traffic.histogram as histogram_module
+
+        exact_samples = []
+
+        class TeeHistogram(LatencyHistogram):
+            def record(self, latency_ns):
+                exact_samples.append(latency_ns)
+                super().record(latency_ns)
+
+        monkeypatch.setattr(histogram_module, "LatencyHistogram",
+                            TeeHistogram)
+        n = 8
+        system = GS1280System(n)
+        rng = RngFactory(0)
+        pickers = [make_random_remote_picker(rng, c, n) for c in range(n)]
+        result = run_closed_loop(system, pickers, outstanding=8,
+                                 warmup_ns=2000.0, window_ns=5000.0,
+                                 record_percentiles=True)
+        assert len(exact_samples) >= 1000
+        p = result.latency_percentiles
+        assert set(p) == {50, 95, 99}
+        for percentile, estimate in p.items():
+            exact = exact_percentile(exact_samples, percentile)
+            assert estimate == pytest.approx(exact, rel=self.TOL), (
+                f"p{percentile}: histogram {estimate:.1f} vs "
+                f"exact {exact:.1f}"
+            )
+
+
+class TestMerge:
+    def test_merge_equals_single_stream(self):
+        rng = random.Random(11)
+        samples = [rng.expovariate(1 / 300.0) for _ in range(4_000)]
+        whole = LatencyHistogram()
+        parts = [LatencyHistogram() for _ in range(4)]
+        for i, v in enumerate(samples):
+            whole.record(v)
+            parts[i % 4].record(v)
+        merged = LatencyHistogram.merged(parts)
+        assert merged.counts == whole.counts
+        assert merged.n == whole.n
+        assert merged.sum_ns == pytest.approx(whole.sum_ns)
+        assert merged.min_ns == whole.min_ns
+        assert merged.max_ns == whole.max_ns
+
+    def test_merge_rejects_mixed_resolution(self):
+        a, b = LatencyHistogram(16), LatencyHistogram(8)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merged_empty_iterable(self):
+        assert LatencyHistogram.merged([]).n == 0
+
+
+class TestBoundedMemory:
+    def test_memory_is_o_buckets_not_o_samples(self):
+        """10x more samples over the same dynamic range must not grow
+        the bucket dict -- the whole point of replacing the list."""
+        rng = random.Random(5)
+
+        def fill(n):
+            h = LatencyHistogram()
+            for _ in range(n):
+                h.record(rng.uniform(50.0, 5_000.0))
+            return h
+
+        small, big = fill(2_000), fill(20_000)
+        # Dynamic range spans log2(5000/50) ~ 6.6 octaves = ~107
+        # buckets at 16/octave; both runs saturate that, not n.
+        cap = 16 * math.ceil(math.log2(5_000.0 / 50.0) + 1)
+        assert len(small.counts) <= cap
+        assert len(big.counts) <= cap
+        assert len(big.counts) <= len(small.counts) + 16
+
+    def test_slots_no_dict(self):
+        h = LatencyHistogram()
+        with pytest.raises(AttributeError):
+            h.arbitrary_attribute = 1
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        h = LatencyHistogram()
+        for v in (3.0, 700.0, 700.0, 12_000.0):
+            h.record(v)
+        text = json.dumps(h.to_dict(), sort_keys=True)
+        back = LatencyHistogram.from_dict(json.loads(text))
+        assert back.counts == h.counts
+        assert back.n == h.n
+        assert back.min_ns == h.min_ns
+        assert back.max_ns == h.max_ns
+        assert json.dumps(back.to_dict(), sort_keys=True) == text
+
+    def test_empty_round_trip(self):
+        back = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert back.n == 0
+        assert back.counts == {}
+
+    def test_count_at_or_below(self):
+        h = LatencyHistogram()
+        for v in (10.0, 20.0, 10_000.0):
+            h.record(v)
+        assert h.count_at_or_below(100.0) == 2
+        assert h.count_at_or_below(1e9) == 3
+        assert h.count_at_or_below(1e-6) == 0

@@ -1,0 +1,113 @@
+"""TrafficMix / TenantClass: validation, rates, JSON, coercion."""
+
+import json
+
+import pytest
+
+from repro.traffic import (
+    PoissonArrivals,
+    TenantClass,
+    TrafficMix,
+    default_mix,
+    mix_from_params,
+)
+
+
+def one_class(**overrides):
+    base = dict(name="web", arrival=PoissonArrivals(rate_per_ns=1.0))
+    base.update(overrides)
+    return TenantClass(**base)
+
+
+class TestTenantClass:
+    def test_defaults(self):
+        tc = one_class()
+        assert tc.pattern == "uniform_remote"
+        assert tc.op == "read"
+        assert tc.cpus is None
+        assert tc.slo_p99_ns is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_class(name="")
+        with pytest.raises(ValueError):
+            one_class(weight=0.0)
+        with pytest.raises(ValueError):
+            one_class(pattern="random")
+        with pytest.raises(ValueError):
+            one_class(op="write")
+        with pytest.raises(ValueError):
+            one_class(cpus=())
+        with pytest.raises(ValueError):
+            one_class(cpus=(1, 1))
+        with pytest.raises(ValueError):
+            one_class(slo_p99_ns=0.0)
+        with pytest.raises(TypeError):
+            one_class(arrival="poisson")
+
+    def test_cpus_on_full_machine_default(self):
+        assert one_class().cpus_on(4) == (0, 1, 2, 3)
+        assert one_class(cpus=(1, 3)).cpus_on(4) == (1, 3)
+
+    def test_cpus_on_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_class(cpus=(0, 8)).cpus_on(4)
+
+
+class TestTrafficMix:
+    def test_needs_classes(self):
+        with pytest.raises(ValueError):
+            TrafficMix(classes=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMix(classes=(one_class(), one_class()))
+
+    def test_rate_split_by_weight(self):
+        mix = TrafficMix(
+            classes=(one_class(name="a", weight=3.0),
+                     one_class(name="b", weight=1.0)),
+            txn_per_user_s=10_000.0,
+        )
+        users = 50_000
+        total = users * 10_000.0 * 1e-9
+        a, b = mix.classes
+        assert mix.class_rate_per_ns(a, users) == pytest.approx(0.75 * total)
+        assert mix.class_rate_per_ns(b, users) == pytest.approx(0.25 * total)
+
+    def test_slo_classes(self):
+        mix = default_mix()
+        slo = mix.slo_classes()
+        assert [tc.name for tc in slo] == ["oltp"]
+        assert slo[0].slo_p99_ns == 1200.0
+
+    def test_json_round_trip(self):
+        mix = default_mix()
+        back = TrafficMix.from_json(mix.to_json())
+        assert back == mix
+        assert back.to_json() == mix.to_json()
+        # Canonical form is stable under a dict cycle too.
+        again = TrafficMix.from_dict(json.loads(mix.to_json()))
+        assert again == mix
+
+
+class TestCoercion:
+    def test_passthrough_and_builtin_name(self):
+        mix = default_mix()
+        assert mix_from_params(mix) is mix
+        assert mix_from_params("default") == mix
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            mix_from_params("peak-hour")
+
+    def test_dict_and_list_forms(self):
+        mix = default_mix()
+        assert mix_from_params(mix.to_dict()) == mix
+        bare = [tc.to_dict() for tc in mix.classes]
+        rebuilt = mix_from_params(bare)
+        assert rebuilt.classes == mix.classes
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            mix_from_params(42)

@@ -1,0 +1,162 @@
+"""Open-arrival injection end to end: run_traffic on small machines."""
+
+import json
+
+import pytest
+
+from repro.sim import RngFactory
+from repro.systems import GS320System, GS1280System
+from repro.traffic import (
+    OpenLoopInjector,
+    PoissonArrivals,
+    TenantClass,
+    TrafficMix,
+    default_mix,
+    run_traffic,
+)
+
+FAST = dict(warmup_ns=1000.0, window_ns=2000.0)
+
+
+def simple_mix(**class_overrides):
+    base = dict(name="web", arrival=PoissonArrivals(rate_per_ns=1.0),
+                slo_p99_ns=1500.0)
+    base.update(class_overrides)
+    return TrafficMix(classes=(TenantClass(**base),))
+
+
+class TestRunTraffic:
+    def test_reports_all_classes(self):
+        result = run_traffic(lambda: GS1280System(4), default_mix(),
+                             users=5000, seed=1, **FAST)
+        assert set(result.classes) == {"oltp", "stream", "analytics"}
+        for report in result.classes.values():
+            assert report.issued > 0
+            assert report.unfinished == report.issued - report.completed
+            assert report.percentiles is not None
+            ladder = report.percentiles
+            assert ladder[50.0] <= ladder[95.0] <= ladder[99.0] \
+                <= ladder[99.9]
+
+    def test_accepts_built_system_and_gs320(self):
+        system = GS320System(8)
+        result = run_traffic(system, simple_mix(), users=2000, seed=0,
+                             **FAST)
+        assert result.classes["web"].completed > 0
+
+    def test_offered_load_scales_with_users(self):
+        lo = run_traffic(lambda: GS1280System(4), simple_mix(),
+                         users=2000, seed=2, **FAST)
+        hi = run_traffic(lambda: GS1280System(4), simple_mix(),
+                         users=8000, seed=2, **FAST)
+        assert hi.offered_per_ns == pytest.approx(
+            4.0 * lo.offered_per_ns, rel=0.2
+        )
+
+    def test_open_loop_observes_overload(self):
+        """Offered load must NOT collapse at saturation -- the defining
+        open-loop property the closed loop lacks."""
+        sat = run_traffic(lambda: GS1280System(4), simple_mix(),
+                          users=400_000, seed=2, **FAST)
+        assert sat.offered_per_ns > 4.0 * sat.delivered_per_ns
+        report = sat.classes["web"]
+        assert report.unfinished > 0
+        assert report.slo_attainment < 0.5
+        assert not sat.slo_ok()
+
+    def test_unfinished_count_as_slo_misses(self):
+        sat = run_traffic(lambda: GS1280System(4), simple_mix(),
+                          users=400_000, seed=2, **FAST)
+        report = sat.classes["web"]
+        assert report.within_slo <= report.completed
+        assert report.slo_attainment == report.within_slo / report.issued
+
+    def test_slo_ok_at_light_load(self):
+        light = run_traffic(lambda: GS1280System(4), simple_mix(),
+                            users=1000, seed=2, **FAST)
+        assert light.slo_ok()
+        assert light.classes["web"].slo_attainment == 1.0
+
+    def test_priority_shields_the_critical_class(self):
+        """Under pressure, the priority-0 class must hold a better tail
+        than an identical priority-2 class sharing the machine."""
+        mix = TrafficMix(classes=(
+            TenantClass(name="crit", arrival=PoissonArrivals(1.0),
+                        priority=0, slo_p99_ns=1500.0),
+            TenantClass(name="bulk", arrival=PoissonArrivals(1.0),
+                        priority=2),
+        ))
+        result = run_traffic(lambda: GS1280System(4), mix,
+                             users=12_000, seed=4, max_outstanding=4,
+                             **FAST)
+        crit = result.classes["crit"]
+        bulk = result.classes["bulk"]
+        assert crit.completed > 0 and bulk.completed > 0
+        assert crit.percentiles[99.0] < bulk.percentiles[99.0]
+
+    def test_to_dict_is_json_safe_and_sorted(self):
+        result = run_traffic(lambda: GS1280System(4), default_mix(),
+                             users=5000, seed=1, **FAST)
+        payload = result.to_dict()
+        text = json.dumps(payload, sort_keys=True)
+        assert list(payload["classes"]) == sorted(payload["classes"])
+        assert "schedule" not in payload
+        assert json.loads(text) == payload
+
+    def test_cpu_subsets_respected(self):
+        mix = TrafficMix(classes=(
+            TenantClass(name="pinned", arrival=PoissonArrivals(1.0),
+                        pattern="local", cpus=(0, 1)),
+        ))
+        system = GS1280System(4)
+        result = run_traffic(system, mix, users=4000, seed=0,
+                             capture_schedule=True, **FAST)
+        cpus_used = {entry[2] for entry in result.schedule}
+        assert cpus_used <= {0, 1}
+
+    def test_validation(self):
+        system = GS1280System(2)
+        mix = simple_mix()
+        with pytest.raises(ValueError):
+            OpenLoopInjector(system, mix, users=0, rng_factory=RngFactory(0))
+        with pytest.raises(ValueError):
+            OpenLoopInjector(system, mix, users=10,
+                             rng_factory=RngFactory(0), window_ns=0.0)
+        with pytest.raises(ValueError):
+            OpenLoopInjector(system, mix, users=10,
+                             rng_factory=RngFactory(0), max_outstanding=0)
+
+    def test_injector_start_only_once(self):
+        system = GS1280System(2)
+        injector = OpenLoopInjector(system, simple_mix(), users=100,
+                                    rng_factory=RngFactory(0))
+        injector.start()
+        with pytest.raises(RuntimeError):
+            injector.start()
+
+    def test_unknown_class_lookup(self):
+        system = GS1280System(2)
+        injector = OpenLoopInjector(system, simple_mix(), users=100,
+                                    rng_factory=RngFactory(0))
+        with pytest.raises(KeyError):
+            injector.class_histogram("nope")
+        with pytest.raises(KeyError):
+            injector.class_counts("nope")
+
+
+class TestTelemetry:
+    def test_probes_only_when_enabled(self):
+        off = GS1280System(2)
+        run_traffic(off, simple_mix(), users=1000, seed=0, **FAST)
+        assert not any(k.startswith("traffic.")
+                       for k in off.registry.snapshot())
+
+        on = GS1280System(2)
+        on.telemetry.enabled = True
+        result = run_traffic(on, simple_mix(), users=1000, seed=0, **FAST)
+        snap = on.registry.snapshot()
+        report = result.classes["web"]
+        injected = snap["traffic.web.injected"]
+        assert injected >= report.issued
+        assert snap["traffic.web.completed"] >= report.completed
+        assert snap["traffic.outstanding"] == 0
