@@ -161,8 +161,11 @@ def router_misroute(every: int = 3):
 @contextlib.contextmanager
 def engine_time_warp(every: int = 40):
     """Every Nth heap-bound schedule stamps its event half a nanosecond
-    in the past."""
+    in the past.  Covers both entry shapes -- cancellable ``schedule``
+    Events and fire-and-forget ``post`` tuples -- since the hot paths
+    ride the latter."""
     original = Simulator.schedule
+    original_post = Simulator.post
     state = {"n": 0}
 
     def buggy(self, delay, fn, *args):
@@ -175,7 +178,19 @@ def engine_time_warp(every: int = 40):
             return event
         return original(self, delay, fn, *args)
 
-    with _patched(Simulator, "schedule", buggy):
+    def buggy_post(self, delay, fn, *args):
+        state["n"] += 1
+        if state["n"] % every == 0 and delay > 0.0 and self.now > 0.0:
+            seq = self._seq
+            heapq.heappush(
+                self._queue, (self.now - 0.5, seq, fn, args)  # BUG
+            )
+            self._seq = seq + 1
+            return
+        return original_post(self, delay, fn, *args)
+
+    with _patched(Simulator, "schedule", buggy), \
+            _patched(Simulator, "post", buggy_post):
         yield
 
 

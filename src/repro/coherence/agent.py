@@ -60,6 +60,9 @@ class CoherenceAgent:
         # timeouts and keeps the protocol byte-identical to retry-free
         # builds.
         self.retry = retry
+        # Prebound fire-and-forget scheduler (skips descriptor lookup
+        # on every handler hop).
+        self._post = sim.post
         # Statistics.
         self.completed: dict[str, int] = {}
         self.latency_sum_ns: dict[str, float] = {}
@@ -72,6 +75,24 @@ class CoherenceAgent:
         self.retries_total = 0
         self.retries_exhausted_total = 0
         self.orphan_responses_total = 0
+        # Packet-dispatch table: op -> (handler delay, handler), with
+        # the per-op latencies hoisted out of the machine config.  DATA
+        # and INVAL_ACK stay out of the table (they dispatch
+        # immediately, no scheduled hop).
+        self._sched_ops = {
+            CoherenceOp.READ:
+                (machine.directory_lookup_ns, self._home_handle),
+            CoherenceOp.READ_MOD:
+                (machine.directory_lookup_ns, self._home_handle),
+            CoherenceOp.VICTIM:
+                (machine.directory_lookup_ns, self._home_handle),
+            CoherenceOp.FORWARD_READ:
+                (machine.cache_probe_ns, self._owner_handle),
+            CoherenceOp.FORWARD_MOD:
+                (machine.cache_probe_ns, self._owner_handle),
+            CoherenceOp.INVALIDATE:
+                (machine.cache_probe_ns, self._sharer_handle),
+        }
         # Invariant checker (repro.check); None unless a CheckSession
         # attached the system.
         self._check = None
@@ -122,8 +143,8 @@ class CoherenceAgent:
             home=home,
         )
         if home == self.node and not self.machine.local_via_fabric:
-            self.sim.schedule(self.machine.directory_lookup_ns,
-                              self._home_handle, msg)
+            self._post(self.machine.directory_lookup_ns,
+                          self._home_handle, msg)
         else:
             self._send(home, MessageClass.REQUEST, msg,
                        size=DATA_RESPONSE_BYTES)
@@ -163,8 +184,9 @@ class CoherenceAgent:
             self._txn_spans[txn_id] = tr.txn_begin(
                 self.node, op, address, self.sim.now
             )
-        # Miss detection + request launch.
-        self.sim.schedule(self.machine.request_launch_ns, self._issue, txn)
+        # Miss detection + request launch.  post(): the launch is never
+        # cancelled (timeouts arm only after issue).
+        self._post(self.machine.request_launch_ns, self._issue, txn)
         return txn
 
     def _issue(self, txn: Transaction) -> None:
@@ -180,8 +202,8 @@ class CoherenceAgent:
         if txn.home == self.node and not self.machine.local_via_fabric:
             # Local request: pay the directory lookup that remote
             # requests pay on packet arrival.
-            self.sim.schedule(self.machine.directory_lookup_ns,
-                              self._home_handle, msg)
+            self._post(self.machine.directory_lookup_ns,
+                          self._home_handle, msg)
         else:
             self._send(txn.home, MessageClass.REQUEST, msg)
         if self.retry is not None:
@@ -233,24 +255,23 @@ class CoherenceAgent:
     def _on_packet(self, packet: Packet) -> None:
         msg: CoherenceMessage = packet.payload
         op = msg.op
-        if op in (CoherenceOp.READ, CoherenceOp.READ_MOD, CoherenceOp.VICTIM):
-            self.sim.schedule(
-                self.machine.directory_lookup_ns, self._home_handle, msg
-            )
-        elif op in (CoherenceOp.FORWARD_READ, CoherenceOp.FORWARD_MOD):
-            self.sim.schedule(
-                self.machine.cache_probe_ns, self._owner_handle, msg
-            )
-        elif op == CoherenceOp.INVALIDATE:
-            self.sim.schedule(
-                self.machine.cache_probe_ns, self._sharer_handle, msg
-            )
-        elif op == CoherenceOp.DATA:
+        # DATA first: data responses are the most common arrival on the
+        # load-test hot path, and they dispatch without a scheduled hop.
+        if op == CoherenceOp.DATA:
             self._data_arrived(msg)
-        elif op == CoherenceOp.INVAL_ACK:
+            return
+        entry = self._sched_ops.get(op)
+        if entry is not None:
+            # post(): handler hops are never cancelled.
+            self._post(entry[0], entry[1], msg)
+            return
+        if op == CoherenceOp.INVAL_ACK:
             self._ack_arrived(msg)
-        else:  # pragma: no cover - protocol completeness guard
-            raise RuntimeError(f"agent {self.node}: unknown op {op!r}")
+            return
+        # protocol completeness guard
+        raise RuntimeError(  # pragma: no cover
+            f"agent {self.node}: unknown op {op!r}"
+        )
 
     # ------------------------------------------------------------------
     # home role
@@ -382,7 +403,7 @@ class CoherenceAgent:
             if msg.requestor != self.node:
                 # Home-relayed dirty response (GS320 protocol): commit at
                 # the directory, then pass the data on to the requestor.
-                self.sim.schedule(
+                self._post(
                     self.machine.directory_lookup_ns,
                     self._send, msg.requestor, MessageClass.RESPONSE, msg,
                 )
@@ -420,7 +441,7 @@ class CoherenceAgent:
         if ev is not None:
             txn.timeout_event = None
             ev.cancel()
-        self.sim.schedule(self.machine.fill_ns, self._complete, txn)
+        self._post(self.machine.fill_ns, self._complete, txn)
 
     def _complete(self, txn: Transaction) -> None:
         txn.completed_at = self.sim.now

@@ -30,7 +30,7 @@ class CoherenceOp:
     INVAL_ACK = "InvalAck"  # sharer -> requestor: invalidation done
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceMessage:
     """Payload of a network packet in the coherence layer."""
 
@@ -55,7 +55,7 @@ class CoherenceMessage:
     attempt: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """Requestor-side state of one outstanding miss."""
 

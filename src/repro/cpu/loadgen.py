@@ -133,6 +133,7 @@ class LoadGenerator:
                 self.agent.victim(addr, home=home)
             self._prev_victim = (txn.address, txn.home)
         if self.think_ns > 0:
-            self.sim.schedule(self.think_ns, self._issue)
+            # post(): think-time wakeups are never cancelled.
+            self.sim.post(self.think_ns, self._issue)
         else:
             self._issue()

@@ -284,6 +284,69 @@ def _run_oracle(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _run_bench(args) -> int:
+    """``bench``: the fig15/64P hot-path load point, optionally under
+    cProfile (``--profile N`` prints the top-N functions by own time).
+
+    This is the in-package twin of ``benchmarks/bench_perf_hotpath.py``
+    (which also does baseline capture and regression gating); the CLI
+    lane exists so a profile of the *installed* tree is one command,
+    with no checkout of the benchmarks directory needed.
+    """
+    import time
+
+    from repro import fastpath
+    from repro.sim import RngFactory
+    from repro.systems import GS1280System
+    from repro.workloads.closed_loop import run_closed_loop
+    from repro.workloads.loadtest import make_random_remote_picker
+
+    n_cpus = 16 if args.quick else 64
+    warmup_ns, window_ns = (1000.0, 2000.0) if args.quick \
+        else (2000.0, 5000.0)
+
+    def run_point():
+        system = GS1280System(n_cpus, shards=args.shards)
+        rng_factory = RngFactory(args.seed)
+        pickers = [
+            make_random_remote_picker(rng_factory, cpu, n_cpus)
+            for cpu in range(n_cpus)
+        ]
+        result = run_closed_loop(system, pickers, outstanding=16,
+                                 warmup_ns=warmup_ns, window_ns=window_ns)
+        return system, result
+
+    # --no-fastpath forces the scalar path; otherwise the ambient
+    # setting (GS1280_FASTPATH) stands rather than being overridden.
+    fast = fastpath.is_enabled() and not args.no_fastpath
+    with fastpath.toggled(fast):
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            start = time.perf_counter()
+            profiler.enable()
+            system, result = run_point()
+            profiler.disable()
+            wall_s = time.perf_counter() - start
+            stats = pstats.Stats(profiler).sort_stats("tottime")
+            stats.print_stats(args.profile)
+        else:
+            start = time.perf_counter()
+            system, result = run_point()
+            wall_s = time.perf_counter() - start
+
+    events = system.sim.events_processed
+    print(f"bench: {n_cpus}P load point, fastpath "
+          f"{'on' if fast else 'off'}: "
+          f"{events:,} events in {wall_s:.2f}s "
+          f"({events / wall_s:,.0f} events/s), "
+          f"{result.completed:,} transactions, "
+          f"latency {result.latency_ns:.1f} ns")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="gs1280-repro",
@@ -414,6 +477,22 @@ def main(argv: list[str] | None = None) -> int:
                           help="longer measurement windows")
     oracle_p.add_argument("--jobs", type=int, default=2,
                           help="fan-out width for the jobs-identity leg")
+    bench_p = sub.add_parser(
+        "bench", help="run the fig15/64P hot-path load point "
+        "(optionally under cProfile)")
+    bench_p.add_argument("--profile", type=int, default=0, metavar="N",
+                         help="profile the run and print the top-N "
+                              "functions by own time")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="16P with short windows (smoke/profile "
+                              "shape, not a benchmark)")
+    bench_p.add_argument("--no-fastpath", action="store_true",
+                         help="run with the hot-path batching pass "
+                              "disabled (the scalar oracle path)")
+    bench_p.add_argument("--shards", type=int, default=0,
+                         help="run on the sharded backend with N "
+                              "shards (default: single heap)")
+    bench_p.add_argument("--seed", type=int, default=0)
     chart_p = sub.add_parser("chart", help="render one figure as SVG")
     chart_p.add_argument("exp_id")
     chart_p.add_argument("-o", "--out", required=True,
@@ -434,6 +513,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_fuzz(args)
     if args.command == "oracle":
         return _run_oracle(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "export":
         from repro.experiments.export import export_results
 

@@ -1,0 +1,173 @@
+"""Batch kernels: vectorized timing math for same-timestamp groups.
+
+Each kernel computes, for a *batch* of accesses or packets, exactly what
+the scalar model code computes one call at a time.  The batching rules
+(docs/hotpath.md) are strict:
+
+* **Elementwise float math vectorizes.**  IEEE-754 double arithmetic is
+  deterministic per operation, so ``numpy`` elementwise ops on float64
+  produce bit-identical results to the equivalent Python-float
+  expressions (``a / b``, ``a + b``, ``min(a, k)``) evaluated in the
+  same order per element.
+* **Recurrences stay sequential.**  Anything where element *i* depends
+  on element *i-1* -- bus-occupancy chaining
+  (``start_i = max(t_i, free_{i-1})``), LRU page state -- is computed
+  with the same left-to-right loop the scalar model uses.  A prefix-sum
+  / ``accumulate`` formulation would round differently and break byte
+  identity, so it is deliberately **not** used.
+* **Order must provably not matter.**  A batch is only legal for a
+  same-timestamp, same-component group whose scalar evaluation order is
+  the batch order (docs/hotpath.md lists the proof obligations).
+
+Every kernel has a ``*_scalar`` reference implementation -- the oracle
+-- and the public entry point dispatches on numpy availability and the
+:mod:`repro.fastpath` toggle.  The hypothesis property suite
+(``tests/test_fastpath_properties.py``) proves both paths identical for
+random burst shapes, occupancies and failed-channel states.
+
+numpy is an optional dependency: without it every kernel silently runs
+the scalar path (same results, no gating needed by callers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import fastpath
+
+try:  # numpy is baked into the dev image but remains optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _force_scalar
+    _np = None
+
+__all__ = [
+    "have_numpy",
+    "use_vectorized",
+    "link_flit_times",
+    "link_flit_times_scalar",
+    "zbox_slot_ns",
+    "zbox_slot_ns_scalar",
+    "occupancy_schedule",
+    "rdram_page_ids",
+    "rdram_page_ids_scalar",
+]
+
+
+def have_numpy() -> bool:
+    """True when the numpy backend is importable."""
+    return _np is not None
+
+
+def use_vectorized() -> bool:
+    """True when batch kernels should take the numpy path: numpy is
+    present *and* the ambient fastpath toggle is on.  Read per batch
+    (batches are rare relative to events, so the global read is cheap
+    here, unlike on the per-event paths)."""
+    return _np is not None and fastpath.is_enabled()
+
+
+# ---------------------------------------------------------------------------
+# link flit timing
+# ---------------------------------------------------------------------------
+def link_flit_times_scalar(
+    sizes: Sequence[int],
+    serialized: Sequence[bool],
+    bandwidth_gbps: float,
+    wire_ns: float,
+) -> tuple[list[float], list[float]]:
+    """Per-packet (serialization_ns, head_delay_ns), scalar reference.
+
+    Mirrors ``Link._start_next``: ``ser = size / bandwidth`` (GB/s ==
+    bytes/ns) and ``head = wire + (ser if first link else 0)`` --
+    cut-through packets overlap serialization with the wire flight.
+    """
+    ser = [size / bandwidth_gbps for size in sizes]
+    head = [
+        wire_ns + (0.0 if done else s)
+        for s, done in zip(ser, serialized)
+    ]
+    return ser, head
+
+
+def link_flit_times(
+    sizes: Sequence[int],
+    serialized: Sequence[bool],
+    bandwidth_gbps: float,
+    wire_ns: float,
+) -> tuple[list[float], list[float]]:
+    """Batched flit timing for one link; bit-identical to the scalar
+    path (pure elementwise float64 math)."""
+    if not use_vectorized() or len(sizes) < 2:
+        return link_flit_times_scalar(sizes, serialized, bandwidth_gbps,
+                                      wire_ns)
+    size_arr = _np.asarray(sizes, dtype=_np.float64)
+    done = _np.asarray(serialized, dtype=bool)
+    ser = size_arr / bandwidth_gbps
+    head = _np.where(done, wire_ns + 0.0, wire_ns + ser)
+    return ser.tolist(), head.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Zbox controller-bus slots
+# ---------------------------------------------------------------------------
+def zbox_slot_ns_scalar(
+    sizes: Sequence[int], ctrl_rate: float
+) -> list[float]:
+    """Per-access bus-slot reservation, scalar reference.  Mirrors
+    ``Zbox.access``: ``min(size, 64) / ctrl_rate``."""
+    return [min(size, 64) / ctrl_rate for size in sizes]
+
+
+def zbox_slot_ns(sizes: Sequence[int], ctrl_rate: float) -> list[float]:
+    """Batched bus-slot computation (elementwise: vectorizes)."""
+    if not use_vectorized() or len(sizes) < 2:
+        return zbox_slot_ns_scalar(sizes, ctrl_rate)
+    clipped = _np.minimum(
+        _np.asarray(sizes, dtype=_np.int64), 64
+    ).astype(_np.float64)
+    return (clipped / ctrl_rate).tolist()
+
+
+# ---------------------------------------------------------------------------
+# bus-occupancy recurrence (NEVER vectorized: docs/hotpath.md)
+# ---------------------------------------------------------------------------
+def occupancy_schedule(
+    arrival_ns: Sequence[float],
+    slot_ns: Sequence[float],
+    free_at: float,
+) -> tuple[list[float], float]:
+    """Chain a batch through one bus: ``start_i = max(t_i, free)``,
+    ``free = start_i + slot_i``.  Element *i* depends on *i-1*, so this
+    is the **exact sequential loop** on both paths -- a prefix-sum
+    formulation would round differently.  Returns (starts, final free).
+    """
+    starts: list[float] = []
+    append = starts.append
+    for t, slot in zip(arrival_ns, slot_ns):
+        start = t if t > free_at else free_at
+        append(start)
+        free_at = start + slot
+    return starts, free_at
+
+
+# ---------------------------------------------------------------------------
+# RDRAM page ids
+# ---------------------------------------------------------------------------
+def rdram_page_ids_scalar(
+    addresses: Sequence[int], page_bytes: int
+) -> list[int]:
+    """Page id per address, scalar reference (``address // page_bytes``)."""
+    return [address // page_bytes for address in addresses]
+
+
+def rdram_page_ids(addresses: Sequence[int], page_bytes: int) -> list[int]:
+    """Batched page-id computation.  Integer floor division of
+    non-negative int64 values is exact, so the numpy path is identical;
+    addresses at or beyond 2**63 fall back to the scalar path rather
+    than overflow."""
+    if not use_vectorized() or len(addresses) < 2:
+        return rdram_page_ids_scalar(addresses, page_bytes)
+    arr = _np.asarray(addresses)
+    if arr.dtype.kind != "i":  # object/uint dtype: python ints won, bail
+        return rdram_page_ids_scalar(addresses, page_bytes)
+    return (arr // page_bytes).tolist()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.config import MemoryConfig
+from repro.fastpath import kernels
 
 __all__ = ["RdramArray"]
 
@@ -23,25 +24,63 @@ class RdramArray:
     def __init__(self, config: MemoryConfig) -> None:
         self.config = config
         self._open_pages: OrderedDict[int, None] = OrderedDict()
+        # Per-access scalars, hoisted out of the frozen config dataclass
+        # (this method sits on the memory hot path).
+        self._page_bytes = config.page_bytes
+        self._open_ns = config.open_page_ns
+        self._miss_ns = config.open_page_ns + config.closed_page_extra_ns
+        self._max_open = config.max_open_pages
         self.hits = 0
         self.misses = 0
 
     def page_of(self, address: int) -> int:
-        return address // self.config.page_bytes
+        return address // self._page_bytes
 
     def access_latency_ns(self, address: int) -> float:
         """Latency of one access, updating page state."""
-        page = self.page_of(address)
+        page = address // self._page_bytes
         pages = self._open_pages
         if page in pages:
             pages.move_to_end(page)
             self.hits += 1
-            return self.config.open_page_ns
+            return self._open_ns
         self.misses += 1
-        if len(pages) >= self.config.max_open_pages:
+        if len(pages) >= self._max_open:
             pages.popitem(last=False)
         pages[page] = None
-        return self.config.open_page_ns + self.config.closed_page_extra_ns
+        return self._miss_ns
+
+    def burst_latencies(self, addresses: list[int]) -> list[float]:
+        """Latencies of a batch of accesses, exactly as if
+        :meth:`access_latency_ns` ran once per address in order.
+
+        The elementwise page-id math vectorizes
+        (:func:`kernels.rdram_page_ids`); the LRU recurrence -- element
+        *i*'s hit/miss depends on the page state *i-1* left behind --
+        stays the same left-to-right loop (docs/hotpath.md).
+        """
+        page_ids = kernels.rdram_page_ids(addresses, self._page_bytes)
+        pages = self._open_pages
+        open_ns = self._open_ns
+        miss_ns = self._miss_ns
+        max_open = self._max_open
+        out: list[float] = []
+        append = out.append
+        hits = misses = 0
+        for page in page_ids:
+            if page in pages:
+                pages.move_to_end(page)
+                hits += 1
+                append(open_ns)
+                continue
+            misses += 1
+            if len(pages) >= max_open:
+                pages.popitem(last=False)
+            pages[page] = None
+            append(miss_ns)
+        self.hits += hits
+        self.misses += misses
+        return out
 
     @property
     def open_page_count(self) -> int:

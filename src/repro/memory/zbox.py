@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.config import MemoryConfig
+from repro.fastpath import kernels
 from repro.memory.rdram import RdramArray
 from repro.sim.backend import SchedulerView
 
@@ -39,6 +40,8 @@ class Zbox:
         "n_controllers",
         "rdrams",
         "_bus_free_at",
+        "_node_rate",
+        "_ctrl_rate",
         "_trace",
         "_check",
         "spare_channels",
@@ -62,6 +65,11 @@ class Zbox:
         self.n_controllers = n_controllers
         self.rdrams = [RdramArray(config) for _ in range(n_controllers)]
         self._bus_free_at = [0.0] * n_controllers
+        # Sustained rates, hoisted out of the frozen config dataclass:
+        # refresh, bank turnarounds and read/write bubbles keep the
+        # node rate below the pin rate.
+        self._node_rate = config.peak_bw_gbps * config.stream_efficiency
+        self._ctrl_rate = self._node_rate / n_controllers
         self._trace = None  # telemetry tracer; None on disabled runs
         self._check = None  # invariant checker; same contract
         # EV7 spare-channel redundancy (repro.faults): each controller
@@ -167,11 +175,10 @@ class Zbox:
         bill the whole block to the leading line's controller bus and
         stream the tail at the node's aggregate sustained rate)."""
         now = self.sim.now
-        ctrl = self.controller_of(address)
-        # Sustained per-controller rate: refresh, bank turnarounds and
-        # read/write bubbles keep it below the pin rate.
-        node_rate = self.config.peak_bw_gbps * self.config.stream_efficiency
-        ctrl_rate = node_rate / self.n_controllers
+        # Inlined controller_of (line-interleave across controllers).
+        ctrl = (address // 64) % self.n_controllers
+        node_rate = self._node_rate
+        ctrl_rate = self._ctrl_rate
         if self._degraded:
             # Degraded mode: spares are exhausted on some controller, so
             # its bus runs at the surviving data channels' share.
@@ -205,9 +212,57 @@ class Zbox:
         if write:
             # Writes complete once buffered; DRAM latency is off the
             # critical path but the bus occupancy above is still paid.
-            self.sim.schedule(start - now + slot_ns, on_complete)
+            # post(): completions are never cancelled.
+            self.sim.post(start - now + slot_ns, on_complete)
         else:
-            self.sim.schedule(start - now + latency + extra_ns, on_complete)
+            self.sim.post(start - now + latency + extra_ns, on_complete)
+
+    def access_burst(
+        self,
+        requests: list[tuple[int, int, Callable[[], None], bool]],
+    ) -> None:
+        """Service a same-timestamp batch of accesses, exactly as if
+        :meth:`access` had been called once per request in list order.
+
+        ``requests`` holds ``(address, size_bytes, on_complete, write)``
+        tuples.  The batch path vectorizes the *elementwise* service
+        math (bus-slot widths via :func:`kernels.zbox_slot_ns`) and
+        keeps the stateful parts -- per-controller bus occupancy
+        chaining, RDRAM page LRU, completion scheduling -- in the same
+        left-to-right order the scalar calls would run, so outputs are
+        byte-identical (docs/hotpath.md; proven by the property and
+        identity suites).  Anything the batch math does not cover
+        (degraded channels, multi-line blocks, attached telemetry or
+        checker) falls back to the scalar loop.
+        """
+        if (self._degraded or self._trace is not None
+                or self._check is not None
+                or any(size > 64 for _a, size, _cb, _w in requests)):
+            for address, size, on_complete, write in requests:
+                self.access(address, size, on_complete, write=write)
+            return
+        sim = self.sim
+        now = sim.now
+        n_ctrl = self.n_controllers
+        bus = self._bus_free_at
+        slots = kernels.zbox_slot_ns(
+            [size for _a, size, _cb, _w in requests], self._ctrl_rate
+        )
+        for (address, size, on_complete, write), slot_ns in zip(
+            requests, slots
+        ):
+            ctrl = (address // 64) % n_ctrl
+            free = bus[ctrl]
+            start = now if now > free else free
+            bus[ctrl] = start + slot_ns
+            self.busy_ns_total += slot_ns
+            self.bytes_total += size
+            self.accesses_total += 1
+            latency = self.rdrams[ctrl].access_latency_ns(address)
+            if write:
+                sim.post(start - now + slot_ns, on_complete)
+            else:
+                sim.post(start - now + latency, on_complete)
 
     def backlog_ns(self) -> float:
         return max(0.0, min(self._bus_free_at) - self.sim.now)

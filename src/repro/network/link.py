@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro import fastpath
 from repro.network.packet import MessageClass, Packet
 from repro.sim.backend import SchedulerView
 
@@ -49,11 +50,15 @@ class Link:
         "is_shuffle",
         "class_priority",
         "_queues",
+        "_qorder",
         "_queued_bytes",
         "_queued_count",
         "_busy",
         "_seq",
         "_priority_streak",
+        "_fast",
+        "_post",
+        "_dst_post",
         "_wire_free_cb",
         "_trace",
         "_stall_counters",
@@ -101,13 +106,21 @@ class Link:
         # Indexed by MessageClass value (small ints): a list beats a dict
         # on the per-packet enqueue/drain path.
         self._queues: list[deque] = [deque() for _ in range(len(DRAIN_ORDER))]
+        # The same deques in drain order: _pick_next walks this tuple
+        # directly instead of indexing _queues per class per call.
+        self._qorder = tuple(self._queues[cls] for cls in DRAIN_ORDER)
         self._queued_bytes = 0
         self._queued_count = 0
         self._busy = False
         self._seq = 0
         self._priority_streak = 0
-        # Prebound so each transmission's schedule() skips bound-method
-        # creation.
+        # Fastpath toggle, captured at construction (repro.fastpath):
+        # gates the express-transmit branch in submit().
+        self._fast = fastpath.is_enabled()
+        # Prebound so the per-packet calls skip descriptor lookup and
+        # bound-method creation.
+        self._post = sim.post
+        self._dst_post = self.dst_sim.post
         self._wire_free_cb = self._wire_free
         # Telemetry: both stay None/absent on disabled runs so the
         # submit path pays one is-None check, nothing more.
@@ -150,6 +163,33 @@ class Link:
         if self.dead:
             self._drop(packet)
             return
+        if (self._fast and not self._busy and not self._queued_count
+                and self.class_priority and self._stall_counters is None
+                and self._check is None):
+            # Express transmit: the wire is idle and nothing is queued,
+            # so enqueue + _pick_next would trivially pop this packet
+            # right back.  Replicate that composition field-by-field
+            # (docs/hotpath.md walks the identity proof) without
+            # touching the VC deques.  Disabled whenever telemetry or a
+            # checker wants per-packet visibility, or under the FIFO
+            # ablation (class_priority=False, whose picker differs).
+            self._seq += 1
+            self._priority_streak = 0
+            sim = self.sim
+            size = packet.size_bytes
+            self._busy = True
+            ser_ns = size / self.bandwidth_gbps  # GB/s == bytes/ns
+            self.busy_until = sim.now + ser_ns
+            self.busy_ns_total += ser_ns
+            self.bytes_total += size
+            self.packets_total += 1
+            head_delay = self.wire_ns + (
+                ser_ns if not packet.serialized else 0.0
+            )
+            packet.serialized = True
+            self._dst_post(head_delay, on_arrival, packet)
+            self._post(ser_ns, self._wire_free_cb)
+            return
         self._queues[packet.msg_class].append((self._seq, packet, on_arrival))
         self._seq += 1
         self._queued_bytes += packet.size_bytes
@@ -188,9 +228,10 @@ class Link:
         # jumps the queue but cannot *starve* a lower one indefinitely:
         # after a few consecutive priority wins with lower traffic
         # waiting, age wins one slot.
-        for rank, cls in enumerate(DRAIN_ORDER):
-            queue = self._queues[cls]
+        rank = 0
+        for queue in self._qorder:
             if not queue:
+                rank += 1
                 continue
             # Every queued packet in a class above this one was already
             # seen empty, so anything beyond this queue is lower class.
@@ -229,12 +270,19 @@ class Link:
         # wire flight; first-link packets are stored-and-forwarded.
         head_delay = self.wire_ns + (ser_ns if not packet.serialized else 0.0)
         packet.serialized = True
-        self.dst_sim.schedule(head_delay, on_arrival, packet)
-        sim.schedule(ser_ns, self._wire_free_cb)
+        # post(), not schedule(): neither event is ever cancelled, so
+        # the fire-and-forget representation (no Event allocation) is
+        # observably identical.
+        self._dst_post(head_delay, on_arrival, packet)
+        self._post(ser_ns, self._wire_free_cb)
 
     def _wire_free(self) -> None:
         self._busy = False
-        self._start_next()
+        if self._queued_count:
+            self._start_next()
+        # Empty-queue early-out is state-identical: _pick_next over four
+        # empty deques returns None, and _start_next(None) only re-sets
+        # _busy = False.
 
     # -- faults ----------------------------------------------------------
     def fail(self, drop_queued: bool = True) -> list[Packet]:

@@ -66,6 +66,7 @@ class Router:
         "_routes_version",
         "_pipeline_ns",
         "_penalty_ns",
+        "_post",
         "_inject_cb",
         "_trace",
         "_check",
@@ -106,8 +107,9 @@ class Router:
         # Per-packet scalars, hoisted out of the frozen config dataclass.
         self._pipeline_ns = config.pipeline_ns
         self._penalty_ns = config.congestion_penalty_ns_per_queued_packet
-        # Prebound so the per-packet schedule() call skips bound-method
-        # creation.
+        # Prebound so the per-packet calls skip descriptor lookup and
+        # bound-method creation.
+        self._post = sim.post
         self._inject_cb = self._inject_on_link
         # Telemetry tracer; None unless a session attached this system.
         self._trace = None
@@ -127,7 +129,16 @@ class Router:
             self.packets_delivered += 1
             self.deliver(packet)
             return
-        self._forward(packet)
+        # _forward inlined (as in inject): one call frame per hop is
+        # measurable at 64P load.
+        self.packets_routed += 1
+        delay = self._pipeline_ns
+        now = self.sim.now
+        free_at = self._route_free_at
+        start = free_at if free_at > now else now
+        self._route_free_at = start + self.route_slot_ns
+        delay += start - now
+        self._post(delay, self._inject_cb, packet)
 
     def inject(self, packet: Packet) -> None:
         """A local agent (L2 miss path, Zbox, IO) sends a new packet."""
@@ -141,7 +152,7 @@ class Router:
         if packet.dst == self.node:
             # Local loopback (striped controller pair, IO): deliver after
             # the pipeline only.
-            self.sim.schedule(self.config.pipeline_ns, self.deliver, packet)
+            self._post(self.config.pipeline_ns, self.deliver, packet)
             return
         self._forward(packet)
 
@@ -156,8 +167,9 @@ class Router:
         self._route_free_at = start + self.route_slot_ns
         delay += start - now
         # The adaptive output choice happens at the end of the pipeline,
-        # when the VC backlogs it reads are current.
-        self.sim.schedule(delay, self._inject_cb, packet)
+        # when the VC backlogs it reads are current.  post(): routing
+        # decisions are never cancelled, so no Event handle is needed.
+        self._post(delay, self._inject_cb, packet)
 
     def stall(self, duration_ns: float) -> None:
         """Freeze this router's routing pipeline for ``duration_ns``.
@@ -188,7 +200,7 @@ class Router:
         penalty = self._penalty_ns
         queued = link._queued_count
         if penalty and queued:
-            self.sim.schedule(penalty * queued, link.submit, packet, receiver)
+            self._post(penalty * queued, link.submit, packet, receiver)
         else:
             link.submit(packet, receiver)
 
@@ -205,26 +217,50 @@ class Router:
             self._routes_version = topology.routes_version
         cache = self._link_cache[shuffle_ok]
         dst = packet.dst
-        links = cache.get(dst)
-        if links is None:
+        # try/except beats .get() here: the cache hits on essentially
+        # every packet after warmup, and the subscript skips a method
+        # call on that path.
+        try:
+            links = cache[dst]
+        except KeyError:
             candidates = topology.next_hops(self.node, dst, shuffle_ok)
             if not candidates:
                 raise RuntimeError(
                     f"router {self.node}: no route toward {dst}"
-                )
+                ) from None
             out = self.out_links
             recv = self._receivers
             links = tuple((out[nxt], recv[nxt]) for nxt in candidates)
             cache[dst] = links
         if len(links) == 1 or not policy.adaptive:
             return links[0]
-        best = None
-        best_key = None
-        for pair in links:
+        # Inlined Link.backlog_ns with ``now`` hoisted out of the loop:
+        # every candidate link shares this router's clock, so one read
+        # serves all of them (same floats, fewer attribute hops).  The
+        # scalar compare with an explicit dst tie-break is the same
+        # lexicographic order as the old ``(backlog, dst)`` tuple key,
+        # minus one tuple allocation per candidate per packet.
+        now = self.sim.now
+        best = links[0]
+        link = best[0]
+        remaining = link.busy_until - now
+        if remaining < 0.0:
+            remaining = 0.0
+        best_backlog = remaining + link._queued_bytes / link.bandwidth_gbps
+        best_dst = link.dst
+        for i in range(1, len(links)):
+            pair = links[i]
             link = pair[0]
-            key2 = (link.backlog_ns(), link.dst)
-            if best_key is None or key2 < best_key:
-                best, best_key = pair, key2
+            remaining = link.busy_until - now
+            if remaining < 0.0:
+                remaining = 0.0
+            backlog = remaining + link._queued_bytes / link.bandwidth_gbps
+            if backlog < best_backlog or (
+                backlog == best_backlog and link.dst < best_dst
+            ):
+                best = pair
+                best_backlog = backlog
+                best_dst = link.dst
         return best
 
     def _choose_output_uncached(

@@ -45,11 +45,18 @@ class SchedulerView(Protocol):
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any): ...
 
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None: ...
+
 
 class SchedulerBackend(ABC):
     """What a machine model requires of its event scheduler.
 
-    Attributes (documented, not enforced, to keep hot paths slot-free):
+    The ABC carries no state (``__slots__ = ()``) so concrete backends
+    may declare real slots: the kernel loop reads and writes ``now`` and
+    the event counters on every event, and slotted access skips the
+    instance-dict lookup.
+
+    Attributes (documented, not enforced as abstract properties):
 
     ``now``
         Current simulation time in nanoseconds.  During a callback this
@@ -58,6 +65,8 @@ class SchedulerBackend(ABC):
         Invariant-checker handle (:mod:`repro.check`); ``None`` unless a
         check session attached the owning system.
     """
+
+    __slots__ = ()
 
     # -- scheduling -----------------------------------------------------
     @abstractmethod
@@ -68,6 +77,14 @@ class SchedulerBackend(ABC):
     @abstractmethod
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any):
         """Schedule ``fn(*args)`` at an absolute timestamp (>= now)."""
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget schedule: no cancellable handle is returned,
+        so the backend may skip allocating one.  Ordering and event
+        counts must be identical to :meth:`schedule` -- this default
+        simply delegates, which any backend without a cheaper
+        representation can keep."""
+        self.schedule(delay, fn, *args)
 
     # -- execution ------------------------------------------------------
     @abstractmethod

@@ -13,15 +13,30 @@ their own state machines, which keeps the hot path free of generator
 overhead (this matters -- large load-test runs schedule millions of
 events).
 
-Two hot-path representations keep the per-event cost down:
+Three hot-path representations keep the per-event cost down:
 
-* The heap holds ``(time, seq, Event)`` tuples rather than the events
-  themselves, so every sift comparison is a C-level tuple compare
-  instead of a Python ``__lt__`` call (load tests spend millions of
-  comparisons per run).
-* Zero-delay callbacks bypass the heap entirely and ride a FIFO deque;
-  the run loop merges the two sources by ``(time, seq)`` so observable
-  ordering is identical to an all-heap kernel.
+* Queues hold plain tuples rather than event objects, so every sift
+  comparison is a C-level tuple compare instead of a Python ``__lt__``
+  call (load tests spend millions of comparisons per run).  Cancellable
+  schedules ride ``(time, seq, Event)`` 3-tuples; **fire-and-forget**
+  schedules (:meth:`Simulator.post`) ride ``(time, seq, fn, args)``
+  4-tuples and never allocate an :class:`Event` at all.  Sequence
+  numbers are unique, so a comparison never reaches element 2 and the
+  two shapes mix freely in one heap; the run loop dispatches on tuple
+  length.
+* Zero-delay callbacks bypass the heap entirely and ride a FIFO deque
+  (same two tuple shapes); the run loop merges the two sources by
+  ``(time, seq)`` so observable ordering is identical to an all-heap
+  kernel.
+* With the :mod:`repro.fastpath` toggle on (captured at construction),
+  the run loop **coalesces zero-delay bursts**: once the deque's head
+  is strictly earlier than the heap's head, the whole same-timestamp
+  chain drains in one tight loop with no further heap comparisons.
+  Safe because during a burst at time *t* every new heap push carries
+  time > *t* (positive delays only) and cancellations only *raise* the
+  heap's head time -- see docs/hotpath.md for the full argument.  The
+  per-event counters still update inside the burst, so ``pending`` /
+  ``stats()`` stay mid-run exact (PR 6's counter-exactness contract).
 """
 
 from __future__ import annotations
@@ -31,9 +46,12 @@ from collections import deque
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
 
+from repro import fastpath
 from repro.sim.backend import SchedulerBackend
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -101,12 +119,30 @@ class Simulator(SchedulerBackend):
     observable event order exactly.
     """
 
+    __slots__ = (
+        "now",
+        "_queue",
+        "_immediate",
+        "_fast",
+        "_seq",
+        "_cancelled",
+        "_events_processed",
+        "_running",
+        "_check",
+        "_reset_hooks",
+    )
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        # Mixed entries: (time, seq, Event) cancellable, or
+        # (time, seq, fn, args) fire-and-forget (see post()).
+        self._queue: list[tuple] = []
         # Zero-delay events: appended in seq order at non-decreasing
         # ``now``, so the deque is always sorted by (time, seq).
-        self._immediate: deque[Event] = deque()
+        self._immediate: deque[tuple] = deque()
+        # Fastpath toggle, captured at construction (repro.fastpath):
+        # gates zero-delay burst coalescing in run().
+        self._fast = fastpath.is_enabled()
         self._seq: int = 0
         self._cancelled: int = 0
         self._events_processed: int = 0
@@ -131,11 +167,30 @@ class Simulator(SchedulerBackend):
             _heappush(self._queue, (time, seq, event))
         elif delay == 0.0:
             event = Event(self.now, seq, fn, args, self)
-            self._immediate.append(event)
+            self._immediate.append((self.now, seq, event))
         else:
             raise SimulationError(f"negative delay {delay!r}")
         self._seq = seq + 1
         return event
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget schedule: like :meth:`schedule` but returns
+        no handle and allocates no :class:`Event` -- just one 4-tuple.
+
+        Ordering, sequence assignment and the event counters are
+        **identical** to ``schedule`` (same ``_seq`` counter), so a
+        model may convert any never-cancelled schedule to ``post``
+        without changing observable behaviour; this is the hot-path
+        default for link arrivals, wire-free callbacks, router pipeline
+        stages and coherence handler hops."""
+        seq = self._seq
+        if delay > 0.0:
+            _heappush(self._queue, (self.now + delay, seq, fn, args))
+        elif delay == 0.0:
+            self._immediate.append((self.now, seq, fn, args))
+        else:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq = seq + 1
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute timestamp ``time``."""
@@ -148,22 +203,25 @@ class Simulator(SchedulerBackend):
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _peek(self) -> tuple[Event, bool] | None:
-        """Next live event and whether it sits on the immediate deque
-        (cancelled heads are discarded as a side effect)."""
+    def _peek(self) -> tuple[tuple, bool] | None:
+        """Next live entry (a 3- or 4-tuple, see the class docs) and
+        whether it sits on the immediate deque (cancelled heads are
+        discarded as a side effect)."""
         imm = self._immediate
         queue = self._queue
-        while imm and imm[0].cancelled:
+        # Only 3-tuples carry a cancellable Event; 4-tuple posts cannot
+        # be cancelled, so the length check short-circuits the scan.
+        while imm and len(imm[0]) == 3 and imm[0][2].cancelled:
             imm.popleft()
-        while queue and queue[0][2].cancelled:
+        while queue and len(queue[0]) == 3 and queue[0][2].cancelled:
             heapq.heappop(queue)
         ie = imm[0] if imm else None
         he = queue[0] if queue else None
         if ie is None:
-            return (he[2], False) if he is not None else None
-        if he is None or (ie.time, ie.seq) <= (he[0], he[1]):
+            return (he, False) if he is not None else None
+        if he is None or (ie[0], ie[1]) <= (he[0], he[1]):
             return (ie, True)
-        return (he[2], False)
+        return (he, False)
 
     def step(self) -> bool:
         """Run the single earliest pending event.
@@ -176,16 +234,22 @@ class Simulator(SchedulerBackend):
             if chk is not None:
                 chk.at_drain(self)
             return False
-        event, from_immediate = head
+        entry, from_immediate = head
         if from_immediate:
             self._immediate.popleft()
         else:
             heapq.heappop(self._queue)
+        etime = entry[0]
         if chk is not None:
-            chk.event_time(event.time, self.now, event)
-        self.now = event.time
+            chk.event_time(etime, self.now, entry[2] if len(entry) == 3
+                           else entry)
+        self.now = etime
         self._events_processed += 1
-        event.fn(*event.args)
+        if len(entry) == 4:
+            entry[2](*entry[3])
+        else:
+            event = entry[2]
+            event.fn(*event.args)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -214,31 +278,73 @@ class Simulator(SchedulerBackend):
         queue = self._queue
         pop = _heappop
         chk = self._check
+        # Zero-delay burst coalescing and the heap-only tight loop are
+        # legal only on unchecked, uncounted runs: the checker wants its
+        # per-event callback and ``max_events`` needs a per-event limit
+        # check.  Both fall back to the reference one-event-at-a-time
+        # path below.
+        burst_ok = self._fast and chk is None and not counting
+        # ``until`` as a float sentinel: a finite event time never
+        # exceeds +inf, so the tight loop pays one compare, not an
+        # is-None test plus a compare.
+        limit = _INF if until is None else until
         try:
             while True:
+                if burst_ok:
+                    # Heap-only tight loop: the steady state of the load
+                    # tests (every hot-path delay is positive, so the
+                    # immediate deque stays empty).  No source merge is
+                    # needed until a zero-delay post shows up, and the
+                    # pop-first shape touches each entry once -- the
+                    # rare limit overshoot pushes the entry back, which
+                    # cannot change pop order ((time, seq) is unique, so
+                    # order is independent of the heap's internal
+                    # arrangement).
+                    while queue and not imm:
+                        entry = pop(queue)
+                        if len(entry) == 4:
+                            etime = entry[0]
+                            if etime > limit:
+                                _heappush(queue, entry)
+                                self.now = until
+                                return
+                            self.now = etime
+                            self._events_processed += 1
+                            entry[2](*entry[3])
+                        else:
+                            event = entry[2]
+                            if event.cancelled:
+                                continue
+                            etime = entry[0]
+                            if etime > limit:
+                                _heappush(queue, entry)
+                                self.now = until
+                                return
+                            self.now = etime
+                            self._events_processed += 1
+                            event.fn(*event.args)
                 # Inlined _peek(): this loop is the simulator's hottest
                 # code; one extra function call per event is measurable.
-                while imm and imm[0].cancelled:
+                while imm and len(imm[0]) == 3 and imm[0][2].cancelled:
                     imm.popleft()
-                while queue and queue[0][2].cancelled:
+                while queue and len(queue[0]) == 3 and queue[0][2].cancelled:
                     pop(queue)
                 if imm:
-                    event = imm[0]
-                    etime = event.time
+                    entry = imm[0]
+                    etime = entry[0]
                     from_immediate = True
                     if queue:
                         head = queue[0]
                         head_time = head[0]
                         if head_time < etime or (
-                            head_time == etime and head[1] < event.seq
+                            head_time == etime and head[1] < entry[1]
                         ):
-                            event = head[2]
+                            entry = head
                             etime = head_time
                             from_immediate = False
                 elif queue:
-                    head = queue[0]
-                    event = head[2]
-                    etime = head[0]
+                    entry = queue[0]
+                    etime = entry[0]
                     from_immediate = False
                 else:
                     break
@@ -251,10 +357,37 @@ class Simulator(SchedulerBackend):
                     return
                 if from_immediate:
                     imm.popleft()
+                    if burst_ok and (not queue or queue[0][0] > etime):
+                        # Coalesced zero-delay burst: every deque entry
+                        # fires at exactly ``etime`` (appended at
+                        # now == etime), new heap pushes carry strictly
+                        # later times (positive delays only) and
+                        # cancellations only *raise* the heap head, so
+                        # the whole same-timestamp chain drains with no
+                        # further heap comparison.  The fired counter
+                        # still updates per event: ``pending`` /
+                        # ``stats()`` sampled from inside a burst stay
+                        # exact.
+                        self.now = etime
+                        while True:
+                            self._events_processed += 1
+                            if len(entry) == 4:
+                                entry[2](*entry[3])
+                            else:
+                                event = entry[2]
+                                event.fn(*event.args)
+                            while (imm and len(imm[0]) == 3
+                                    and imm[0][2].cancelled):
+                                imm.popleft()
+                            if not imm:
+                                break
+                            entry = imm.popleft()
+                        continue
                 else:
                     pop(queue)
                 if chk is not None:
-                    chk.event_time(etime, self.now, event)
+                    chk.event_time(etime, self.now, entry[2]
+                                   if len(entry) == 3 else entry)
                 self.now = etime
                 # Updated per event (not batched per run() call) so a
                 # telemetry probe sampling ``pending`` or ``stats()``
@@ -264,7 +397,11 @@ class Simulator(SchedulerBackend):
                 self._events_processed += 1
                 if counting:
                     processed += 1
-                event.fn(*event.args)
+                if len(entry) == 4:
+                    entry[2](*entry[3])
+                else:
+                    event = entry[2]
+                    event.fn(*event.args)
             if chk is not None:
                 # The queue truly drained (the break above, not an
                 # until/max_events stop): packet conservation must hold.

@@ -49,6 +49,7 @@ from collections import deque
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Sequence
 
+from repro import fastpath
 from repro.sim.backend import SchedulerBackend
 from repro.sim.engine import Event, SimulationError
 
@@ -59,10 +60,13 @@ _INF = float("inf")
 
 class ShardSim:
     """One shard's private event queue: a ``(time, key)`` heap plus the
-    same zero-delay fast deque the single-heap kernel uses.  Events are
-    :class:`~repro.sim.engine.Event` objects whose ``seq`` slot holds
-    the genealogical key (tuples compare exactly like the ints the
-    single heap uses, just hierarchically)."""
+    same zero-delay fast deque the single-heap kernel uses.  Entries
+    mirror the single heap's two shapes -- ``(time, key, Event)`` for
+    cancellable schedules, ``(time, key, fn, args)`` for fire-and-forget
+    posts -- where ``key`` is the genealogical ordering key (tuples
+    compare exactly like the ints the single heap uses, just
+    hierarchically; keys are unique, so a comparison never reaches
+    element 2 and the shapes mix freely)."""
 
     __slots__ = (
         "index", "now", "_heap", "_immediate", "_inbox", "_inbox_lock",
@@ -73,11 +77,11 @@ class ShardSim:
     def __init__(self, index: int) -> None:
         self.index = index
         self.now = 0.0
-        self._heap: list[tuple[float, tuple, Event]] = []
-        self._immediate: deque[Event] = deque()
-        #: Cross-shard mailbox: (time, key, event) appended by *other*
-        #: shards mid-window, folded into the heap at the next barrier.
-        self._inbox: list[tuple[float, tuple, Event]] = []
+        self._heap: list[tuple] = []
+        self._immediate: deque[tuple] = deque()
+        #: Cross-shard mailbox: entries appended by *other* shards
+        #: mid-window, folded into the heap at the next barrier.
+        self._inbox: list[tuple] = []
         self._inbox_lock = threading.Lock()
         self._scheduled = 0
         self._processed = 0
@@ -89,31 +93,32 @@ class ShardSim:
         self._exec_child = 0
 
     # -- queue access ----------------------------------------------------
-    def _peek(self) -> tuple[float, tuple, Event, bool] | None:
-        """Earliest live entry as (time, key, event, from_immediate);
-        cancelled heads are discarded as a side effect."""
+    def _peek(self) -> tuple[float, tuple, tuple, bool] | None:
+        """Earliest live entry as (time, key, entry, from_immediate),
+        where ``entry`` is the raw 3- or 4-tuple; cancelled heads are
+        discarded as a side effect."""
         imm = self._immediate
         heap = self._heap
-        while imm and imm[0].cancelled:
+        while imm and len(imm[0]) == 3 and imm[0][2].cancelled:
             imm.popleft()
-        while heap and heap[0][2].cancelled:
+        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
             _heappop(heap)
         if imm:
             ie = imm[0]
             if heap:
                 h = heap[0]
-                if h[0] < ie.time or (h[0] == ie.time and h[1] < ie.seq):
-                    return (h[0], h[1], h[2], False)
-            return (ie.time, ie.seq, ie, True)
+                if h[0] < ie[0] or (h[0] == ie[0] and h[1] < ie[1]):
+                    return (h[0], h[1], h, False)
+            return (ie[0], ie[1], ie, True)
         if heap:
             h = heap[0]
-            return (h[0], h[1], h[2], False)
+            return (h[0], h[1], h, False)
         return None
 
-    def _pop(self, from_immediate: bool) -> Event:
+    def _pop(self, from_immediate: bool) -> tuple:
         if from_immediate:
             return self._immediate.popleft()
-        return _heappop(self._heap)[2]
+        return _heappop(self._heap)
 
     def _drain_inbox(self) -> None:
         inbox = self._inbox
@@ -133,28 +138,65 @@ class ShardSim:
         imm = self._immediate
         heap = self._heap
         pop = _heappop
+        # Burst coalescing mirrors Simulator.run's fastpath (same proof:
+        # a window never observes other shards' pushes -- cross-shard
+        # arrivals ride the inbox -- so within the window the single
+        # heap's argument applies verbatim).
+        burst_ok = co._fast and chk is None
         while True:
-            while imm and imm[0].cancelled:
+            if burst_ok:
+                # Heap-only tight loop, mirroring Simulator.run: while
+                # the immediate deque stays empty no source merge is
+                # needed, and a window-limit overshoot pushes the entry
+                # back (pop order is independent of heap arrangement --
+                # (time, key) is unique).
+                while heap and not imm:
+                    entry = pop(heap)
+                    if len(entry) == 4:
+                        etime = entry[0]
+                        if etime > end or (etime == end and not inclusive):
+                            _heappush(heap, entry)
+                            return
+                        self.now = etime
+                        self._processed += 1
+                        self._exec_time = etime
+                        self._exec_key = entry[1]
+                        self._exec_child = 0
+                        entry[2](*entry[3])
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            continue
+                        etime = entry[0]
+                        if etime > end or (etime == end and not inclusive):
+                            _heappush(heap, entry)
+                            return
+                        self.now = etime
+                        self._processed += 1
+                        self._exec_time = etime
+                        self._exec_key = entry[1]
+                        self._exec_child = 0
+                        event.fn(*event.args)
+            while imm and len(imm[0]) == 3 and imm[0][2].cancelled:
                 imm.popleft()
-            while heap and heap[0][2].cancelled:
+            while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
                 pop(heap)
             if imm:
-                event = imm[0]
-                etime = event.time
+                entry = imm[0]
+                etime = entry[0]
                 from_immediate = True
                 if heap:
                     head = heap[0]
                     head_time = head[0]
                     if head_time < etime or (
-                        head_time == etime and head[1] < event.seq
+                        head_time == etime and head[1] < entry[1]
                     ):
-                        event = head[2]
+                        entry = head
                         etime = head_time
                         from_immediate = False
             elif heap:
-                head = heap[0]
-                event = head[2]
-                etime = head[0]
+                entry = heap[0]
+                etime = entry[0]
                 from_immediate = False
             else:
                 return
@@ -162,16 +204,43 @@ class ShardSim:
                 return
             if from_immediate:
                 imm.popleft()
+                if burst_ok and (not heap or heap[0][0] > etime):
+                    # Coalesced zero-delay burst: the executing-event
+                    # context still updates per event, so child keys
+                    # match the one-at-a-time reference exactly.
+                    self.now = etime
+                    while True:
+                        self._processed += 1
+                        self._exec_time = etime
+                        self._exec_key = entry[1]
+                        self._exec_child = 0
+                        if len(entry) == 4:
+                            entry[2](*entry[3])
+                        else:
+                            event = entry[2]
+                            event.fn(*event.args)
+                        while (imm and len(imm[0]) == 3
+                                and imm[0][2].cancelled):
+                            imm.popleft()
+                        if not imm:
+                            break
+                        entry = imm.popleft()
+                    continue
             else:
                 pop(heap)
             if chk is not None:
-                chk.event_time(etime, self.now, event)
+                chk.event_time(etime, self.now, entry[2]
+                               if len(entry) == 3 else entry)
             self.now = etime
             self._processed += 1
             self._exec_time = etime
-            self._exec_key = event.seq
+            self._exec_key = entry[1]
             self._exec_child = 0
-            event.fn(*event.args)
+            if len(entry) == 4:
+                entry[2](*entry[3])
+            else:
+                event = entry[2]
+                event.fn(*event.args)
 
 
 class ShardView:
@@ -208,6 +277,9 @@ class ShardView:
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args) -> Event:
         return self._co._schedule_at_on(self._shard, time, fn, args)
+
+    def post(self, delay: float, fn: Callable[..., Any], *args) -> None:
+        self._co._post_on(self._shard, delay, fn, args)
 
 
 class ShardedSimulator(SchedulerBackend):
@@ -277,6 +349,7 @@ class ShardedSimulator(SchedulerBackend):
         self._in_window = False
         self._window_end = 0.0
         self._threads_live = False
+        self._fast = fastpath.is_enabled()
         self._tls = threading.local()
         self._pool = None
         self._check = None
@@ -319,6 +392,9 @@ class ShardedSimulator(SchedulerBackend):
     def schedule_at(self, time: float, fn: Callable[..., Any], *args) -> Event:
         return self._schedule_at_on(self._global, time, fn, args)
 
+    def post(self, delay: float, fn: Callable[..., Any], *args) -> None:
+        self._post_on(self._global, delay, fn, args)
+
     def _executing(self) -> ShardSim | None:
         ex = self._exec_shard
         if ex is None and self._threads_live:
@@ -360,7 +436,7 @@ class ShardedSimulator(SchedulerBackend):
         if shard is ex:
             # Same-shard: the single-heap fast paths apply unchanged.
             if delay == 0.0:
-                shard._immediate.append(event)
+                shard._immediate.append((time, key, event))
             else:
                 _heappush(shard._heap, (time, key, event))
         elif not self._in_window:
@@ -391,6 +467,55 @@ class ShardedSimulator(SchedulerBackend):
             else:
                 inbox.append((time, key, event))
         return event
+
+    def _post_on(self, shard: ShardSim, delay: float,
+                 fn: Callable[..., Any], args: tuple) -> None:
+        """Fire-and-forget twin of :meth:`_schedule_on`: same key
+        bookkeeping, same placement branches, but the entry is a
+        ``(time, key, fn, args)`` 4-tuple -- no Event allocation and no
+        handle.  Key consumption must mirror ``_schedule_on`` exactly so
+        mixed schedule/post call sequences produce the same key stream
+        either way."""
+        if delay < 0.0:
+            raise SimulationError(f"negative delay {delay!r}")
+        ex = self._executing()
+        if ex is None:
+            now = self._now
+            key = (self._epoch, now, (), self._root_seq)
+            self._root_seq += 1
+            _heappush(shard._heap, (now + delay, key, fn, args))
+            shard._scheduled += 1
+            return
+        time = ex.now + delay
+        key = (self._epoch, ex._exec_time, ex._exec_key, ex._exec_child)
+        ex._exec_child += 1
+        shard._scheduled += 1
+        if shard is ex:
+            if delay == 0.0:
+                shard._immediate.append((time, key, fn, args))
+            else:
+                _heappush(shard._heap, (time, key, fn, args))
+        elif not self._in_window:
+            _heappush(shard._heap, (time, key, fn, args))
+        else:
+            if time < self._window_end:
+                raise SimulationError(
+                    f"cross-shard schedule at t={time!r} violates the "
+                    f"lookahead window ending at {self._window_end!r} "
+                    f"(shard {ex.index} -> {shard.index}; delay "
+                    f"{delay!r} < lookahead {self.lookahead_ns!r}?)"
+                )
+            inbox = shard._inbox
+            if len(inbox) >= self.mailbox_capacity:
+                raise SimulationError(
+                    f"shard {shard.index} mailbox overflow "
+                    f"(capacity {self.mailbox_capacity})"
+                )
+            if self._threads_live:
+                with shard._inbox_lock:
+                    inbox.append((time, key, fn, args))
+            else:
+                inbox.append((time, key, fn, args))
 
     # -- execution -------------------------------------------------------
     def _drain_mailboxes(self) -> None:
@@ -424,17 +549,22 @@ class ShardedSimulator(SchedulerBackend):
                     best_shard = shard
             if best_shard is None:
                 return
-            event = best_shard._pop(best[3])
+            entry = best_shard._pop(best[3])
             if chk is not None:
-                chk.event_time(t, best_shard.now, event)
+                chk.event_time(t, best_shard.now,
+                               entry[2] if len(entry) == 3 else entry)
             best_shard.now = t
             best_shard._processed += 1
             best_shard._exec_time = t
-            best_shard._exec_key = event.seq
+            best_shard._exec_key = best[1]
             best_shard._exec_child = 0
             self._exec_shard = best_shard
             try:
-                event.fn(*event.args)
+                if len(entry) == 4:
+                    entry[2](*entry[3])
+                else:
+                    event = entry[2]
+                    event.fn(*event.args)
             finally:
                 self._exec_shard = None
 
@@ -559,19 +689,24 @@ class ShardedSimulator(SchedulerBackend):
             if chk is not None:
                 chk.at_drain(self)
             return False
-        event = best_shard._pop(best[3])
+        entry = best_shard._pop(best[3])
         etime = best[0]
         if chk is not None:
-            chk.event_time(etime, best_shard.now, event)
+            chk.event_time(etime, best_shard.now,
+                           entry[2] if len(entry) == 3 else entry)
         best_shard.now = etime
         self._now = etime
         best_shard._processed += 1
         best_shard._exec_time = etime
-        best_shard._exec_key = event.seq
+        best_shard._exec_key = best[1]
         best_shard._exec_child = 0
         self._exec_shard = best_shard
         try:
-            event.fn(*event.args)
+            if len(entry) == 4:
+                entry[2](*entry[3])
+            else:
+                event = entry[2]
+                event.fn(*event.args)
         finally:
             self._exec_shard = None
         return True

@@ -1,0 +1,171 @@
+"""Mutation tests for the batch kernels: prove the identity/property
+suites aren't vacuous.
+
+Each test injects a classic batching bug into a kernel or burst entry
+point -- an off-by-one at the batch boundary, a dropped arrival-order
+key, a stale occupancy carry, a dropped LRU touch -- and asserts the
+**same comparison the identity suites run** (burst == sequential, on ==
+off) detects the divergence.  A batching pass whose oracle cannot see
+these bugs would let them ship silently; this file is the counterpart
+of ``test_check_mutations.py`` for the fastpath layer.
+"""
+
+from repro import fastpath
+from repro.config import GS1280Config
+from repro.fastpath import kernels
+from repro.memory import Zbox
+from repro.sim import Simulator
+
+
+def _drain(requests, *, burst, zbox_cls=Zbox):
+    sim = Simulator()
+    zbox = zbox_cls(sim, 0, GS1280Config.build(1).memory)
+    done = []
+    if burst:
+        zbox.access_burst([
+            (addr, size, (lambda i=i: done.append((i, sim.now))), write)
+            for i, (addr, size, write) in enumerate(requests)
+        ])
+    else:
+        for i, (addr, size, write) in enumerate(requests):
+            zbox.access(addr, size,
+                        (lambda i=i: done.append((i, sim.now))),
+                        write=write)
+    sim.run()
+    return {
+        "done": done,
+        "bus_free_at": list(zbox._bus_free_at),
+        "busy_ns_total": zbox.busy_ns_total,
+        "hits": [r.hits for r in zbox.rdrams],
+        "misses": [r.misses for r in zbox.rdrams],
+    }
+
+
+#: Same-controller chain (addresses 0, 128, 256 all hit controller 0 on
+#: a 2-controller node) plus one on the other controller: exercises
+#: occupancy chaining within a burst, which all three zbox mutations
+#: corrupt.
+REQUESTS = [(0, 64, False), (128, 64, False), (64, 32, True),
+            (256, 48, False)]
+
+
+def test_control_arm_burst_matches_sequential():
+    with fastpath.enabled():
+        assert _drain(REQUESTS, burst=True) == _drain(REQUESTS, burst=False)
+
+
+def test_batch_boundary_off_by_one_caught(monkeypatch):
+    """The kernel drops the last element's slot and repeats the
+    previous one (a fencepost in the batch build): the burst-vs-
+    sequential identity comparison must catch it."""
+    original = kernels.zbox_slot_ns
+
+    def buggy(sizes, ctrl_rate):
+        slots = original(sizes, ctrl_rate)
+        if len(slots) >= 2:
+            slots[-1] = slots[-2]  # BUG: fencepost at the batch boundary
+        return slots
+
+    monkeypatch.setattr(kernels, "zbox_slot_ns", buggy)
+    with fastpath.enabled():
+        assert _drain(REQUESTS, burst=True) != _drain(REQUESTS, burst=False)
+
+
+def test_dropped_arrival_order_key_caught(monkeypatch):
+    """A "helpful" batch pass that sorts requests by address drops the
+    arrival-order key the occupancy chain depends on: completion times
+    shift and the identity comparison catches it."""
+    original = Zbox.access_burst
+
+    def buggy(self, requests):
+        original(self, sorted(requests, key=lambda r: r[0]))  # BUG
+
+    monkeypatch.setattr(Zbox, "access_burst", buggy)
+    # Descending addresses on one controller: sorting inverts the
+    # occupancy chain (the all-ascending REQUESTS pattern would survive).
+    requests = [(256, 64, False), (0, 16, False), (128, 32, True)]
+    with fastpath.enabled():
+        burst = _drain(requests, burst=True)
+    sequential = _drain(requests, burst=False)
+    assert burst != sequential
+    # Specifically: the completion *timing*, not just callback order.
+    assert sorted(t for _i, t in burst["done"]) != \
+        sorted(t for _i, t in sequential["done"])
+
+
+def test_stale_occupancy_carry_caught(monkeypatch):
+    """The burst loop reads each controller's bus_free_at once up front
+    instead of re-reading the value the previous element wrote: every
+    same-controller chain collapses onto one start time.  Caught by the
+    same identity comparison."""
+    def buggy(self, requests):
+        if any(size > 64 for _a, size, _cb, _w in requests):
+            for address, size, on_complete, write in requests:
+                self.access(address, size, on_complete, write=write)
+            return
+        sim = self.sim
+        now = sim.now
+        n_ctrl = self.n_controllers
+        stale = list(self._bus_free_at)  # BUG: snapshot, never updated
+        slots = kernels.zbox_slot_ns(
+            [size for _a, size, _cb, _w in requests], self._ctrl_rate
+        )
+        for (address, size, on_complete, write), slot_ns in zip(
+            requests, slots
+        ):
+            ctrl = (address // 64) % n_ctrl
+            free = stale[ctrl]
+            start = now if now > free else free
+            self._bus_free_at[ctrl] = start + slot_ns
+            self.busy_ns_total += slot_ns
+            self.bytes_total += size
+            self.accesses_total += 1
+            latency = self.rdrams[ctrl].access_latency_ns(address)
+            if write:
+                sim.post(start - now + slot_ns, on_complete)
+            else:
+                sim.post(start - now + latency, on_complete)
+
+    monkeypatch.setattr(Zbox, "access_burst", buggy)
+    with fastpath.enabled():
+        assert _drain(REQUESTS, burst=True) != _drain(REQUESTS, burst=False)
+
+
+def test_dropped_lru_touch_caught():
+    """burst_latencies that forgets the LRU move-to-end on a page hit
+    diverges from sequential access_latency_ns on a re-touch pattern."""
+    from repro.memory.rdram import RdramArray
+
+    config = GS1280Config.build(1).memory
+    max_open = config.max_open_pages
+    page = config.page_bytes
+    # Touch pages 0..max_open-1, re-touch page 0, then open one more:
+    # with the LRU touch, page 0 survives the eviction; without it,
+    # page 0 is evicted and the final re-touch misses.
+    addresses = [i * page for i in range(max_open)] + [0] \
+        + [max_open * page, 0]
+
+    seq = RdramArray(config)
+    expected = [seq.access_latency_ns(a) for a in addresses]
+
+    class BuggyRdram(RdramArray):
+        def burst_latencies(self, addrs):
+            page_ids = kernels.rdram_page_ids(addrs, self._page_bytes)
+            pages = self._open_pages
+            out = []
+            for pid in page_ids:
+                if pid in pages:
+                    self.hits += 1       # BUG: no move_to_end touch
+                    out.append(self._open_ns)
+                    continue
+                self.misses += 1
+                if len(pages) >= self._max_open:
+                    pages.popitem(last=False)
+                pages[pid] = None
+                out.append(self._miss_ns)
+            return out
+
+    buggy = BuggyRdram(config)
+    with fastpath.enabled():
+        got = buggy.burst_latencies(addresses)
+    assert got != expected

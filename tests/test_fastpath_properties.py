@@ -1,0 +1,190 @@
+"""Hypothesis property suite for the batch kernels (docs/hotpath.md).
+
+Every batched computation in :mod:`repro.fastpath.kernels` and its two
+call sites (``Zbox.access_burst``, ``RdramArray.burst_latencies``) must
+be **byte-identical** to the scalar model path -- not merely close.
+The properties here drive random burst shapes, bus occupancies and
+failed-channel states through both paths and compare with ``==`` on
+floats: the batching rules only permit elementwise float64 math (which
+IEEE-754 makes bit-deterministic) while every recurrence stays on the
+same left-to-right loop, so exact equality is the contract, and any
+reformulation that rounds differently is a bug these tests catch.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import fastpath
+from repro.config import GS1280Config
+from repro.fastpath import kernels
+from repro.memory import Zbox
+from repro.memory.rdram import RdramArray
+from repro.sim import Simulator
+
+sizes_st = st.lists(st.integers(1, 256), min_size=1, max_size=24)
+addresses_st = st.lists(st.integers(0, 2**24), min_size=1, max_size=24)
+
+
+# ---------------------------------------------------------------------------
+# kernel-level: vectorized == scalar, exactly
+# ---------------------------------------------------------------------------
+@given(sizes=sizes_st,
+       serialized=st.lists(st.booleans(), min_size=24, max_size=24),
+       bandwidth=st.floats(0.5, 20.0, allow_nan=False),
+       wire=st.floats(0.0, 50.0, allow_nan=False))
+def test_link_flit_times_vector_matches_scalar(sizes, serialized,
+                                               bandwidth, wire):
+    flags = serialized[:len(sizes)]
+    with fastpath.enabled():
+        ser_v, head_v = kernels.link_flit_times(sizes, flags,
+                                                bandwidth, wire)
+    ser_s, head_s = kernels.link_flit_times_scalar(sizes, flags,
+                                                   bandwidth, wire)
+    assert ser_v == ser_s
+    assert head_v == head_s
+
+
+@given(sizes=sizes_st, ctrl_rate=st.floats(0.5, 10.0, allow_nan=False))
+def test_zbox_slot_ns_vector_matches_scalar(sizes, ctrl_rate):
+    with fastpath.enabled():
+        vec = kernels.zbox_slot_ns(sizes, ctrl_rate)
+    assert vec == kernels.zbox_slot_ns_scalar(sizes, ctrl_rate)
+
+
+@given(addresses=addresses_st, page_bytes=st.sampled_from([1024, 2048, 4096]))
+def test_rdram_page_ids_vector_matches_scalar(addresses, page_bytes):
+    with fastpath.enabled():
+        vec = kernels.rdram_page_ids(addresses, page_bytes)
+    assert vec == kernels.rdram_page_ids_scalar(addresses, page_bytes)
+
+
+def test_rdram_page_ids_huge_addresses_fall_back():
+    """Python ints beyond int64 must take the scalar path, not wrap."""
+    addresses = [2**63, 2**70 + 4096]
+    with fastpath.enabled():
+        assert kernels.rdram_page_ids(addresses, 4096) == [
+            2**63 // 4096, (2**70 + 4096) // 4096
+        ]
+
+
+@given(arrivals=st.lists(st.floats(0.0, 1e4, allow_nan=False),
+                         min_size=1, max_size=24),
+       slots=st.lists(st.floats(0.1, 100.0, allow_nan=False),
+                      min_size=24, max_size=24),
+       free_at=st.floats(0.0, 1e4, allow_nan=False))
+def test_occupancy_schedule_matches_naive_chain(arrivals, slots, free_at):
+    """The occupancy recurrence must equal the scalar chain exactly --
+    it is required to *be* that loop (never a prefix-sum)."""
+    slots = slots[:len(arrivals)]
+    starts, final = kernels.occupancy_schedule(arrivals, slots, free_at)
+    free = free_at
+    for t, slot, start in zip(arrivals, slots, starts):
+        expected = t if t > free else free
+        assert start == expected
+        free = start + slot
+    assert final == free
+
+
+def test_kernels_with_toggle_off_run_scalar():
+    """With the fastpath toggle off the dispatchers must return scalar
+    results (use_vectorized() is False even when numpy is present)."""
+    with fastpath.disabled():
+        assert not kernels.use_vectorized()
+        assert kernels.zbox_slot_ns([128, 8, 64], 2.0) == \
+            kernels.zbox_slot_ns_scalar([128, 8, 64], 2.0)
+
+
+def test_kernels_without_numpy_run_scalar(monkeypatch):
+    """numpy is optional: with it absent every kernel dispatches to the
+    scalar path and produces the same answers."""
+    monkeypatch.setattr(kernels, "_np", None)
+    assert not kernels.have_numpy()
+    assert not kernels.use_vectorized()
+    with fastpath.enabled():
+        ser, head = kernels.link_flit_times([64, 80], [False, True],
+                                            2.0, 5.0)
+    assert ser == kernels.link_flit_times_scalar(
+        [64, 80], [False, True], 2.0, 5.0)[0]
+    assert head == [5.0 + 32.0, 5.0]
+
+
+# ---------------------------------------------------------------------------
+# model-level: access_burst / burst_latencies == the sequential calls
+# ---------------------------------------------------------------------------
+requests_st = st.lists(
+    st.tuples(st.integers(0, 2**20),      # address
+              st.integers(1, 128),        # size (>64 forces fallback)
+              st.booleans()),             # write
+    min_size=1, max_size=16,
+)
+
+
+def _drain_zbox(requests, failed_channels, burst):
+    """Run ``requests`` through one Zbox (burst or sequential) and
+    return every observable: completion times, counters, bus state."""
+    sim = Simulator()
+    zbox = Zbox(sim, 0, GS1280Config.build(1).memory)
+    for _ in range(failed_channels):
+        zbox.fail_channel(0)
+    done = []
+    if burst:
+        zbox.access_burst([
+            (addr, size, (lambda i=i: done.append((i, sim.now))), write)
+            for i, (addr, size, write) in enumerate(requests)
+        ])
+    else:
+        for i, (addr, size, write) in enumerate(requests):
+            zbox.access(addr, size,
+                        (lambda i=i: done.append((i, sim.now))),
+                        write=write)
+    sim.run()
+    return {
+        "done": done,
+        "bus_free_at": list(zbox._bus_free_at),
+        "busy_ns_total": zbox.busy_ns_total,
+        "bytes_total": zbox.bytes_total,
+        "accesses_total": zbox.accesses_total,
+        "hits": [r.hits for r in zbox.rdrams],
+        "misses": [r.misses for r in zbox.rdrams],
+    }
+
+
+@given(requests=requests_st, failed=st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_access_burst_identical_to_sequential_access(requests, failed):
+    """access_burst must behave exactly as N access() calls in order,
+    for random burst shapes, occupancies (chained within the burst)
+    and failed-channel states (which force the degraded fallback)."""
+    with fastpath.enabled():
+        burst = _drain_zbox(requests, failed, burst=True)
+    sequential = _drain_zbox(requests, failed, burst=False)
+    assert burst == sequential
+
+
+@given(requests=requests_st)
+@settings(max_examples=30, deadline=None)
+def test_access_burst_toggle_off_identical(requests):
+    """The burst entry point itself is toggle-independent: results are
+    identical with the kernels forced scalar."""
+    with fastpath.enabled():
+        on = _drain_zbox(requests, 0, burst=True)
+    with fastpath.disabled():
+        off = _drain_zbox(requests, 0, burst=True)
+    assert on == off
+
+
+@given(addresses=addresses_st)
+@settings(max_examples=60)
+def test_burst_latencies_identical_to_sequential(addresses):
+    """burst_latencies must chain the page LRU exactly like repeated
+    access_latency_ns calls: same latencies, same hit/miss counters,
+    same open-page set afterwards."""
+    config = GS1280Config.build(1).memory
+    seq = RdramArray(config)
+    expected = [seq.access_latency_ns(a) for a in addresses]
+    with fastpath.enabled():
+        batched = RdramArray(config)
+        got = batched.burst_latencies(addresses)
+    assert got == expected
+    assert (batched.hits, batched.misses) == (seq.hits, seq.misses)
+    assert list(batched._open_pages) == list(seq._open_pages)
