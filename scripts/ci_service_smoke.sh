@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CI service-smoke lane (also runnable locally): boot the service,
+# submit the same builtin campaign from two tenants over HTTP,
+# byte-compare both exports against a direct sweep, prove the shared
+# points executed once service-wide, and require a clean SIGTERM
+# drain (server exit code 0).
+#
+# Local use: SERVICE_PORT=8281 REPRO="python -m repro.experiments.runner" \
+#            bash scripts/ci_service_smoke.sh
+set -euo pipefail
+
+REPRO=${REPRO:-gs1280-repro}
+PORT="${SERVICE_PORT:-8180}"
+URL="http://127.0.0.1:${PORT}"
+WORK="${SERVICE_WORKDIR:-.service-smoke}"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+$REPRO serve --db "$WORK/jobs.db" --cache-dir "$WORK/cache" \
+  --results-dir "$WORK/results" --port "$PORT" --workers 2 \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  if curl -fsS "$URL/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -fsS "$URL/healthz"
+echo
+
+# Two tenants submit the same campaign concurrently.
+$REPRO submit smoke --url "$URL" --tenant alice --wait \
+  --out "$WORK/alice.json" &
+ALICE=$!
+$REPRO submit smoke --url "$URL" --tenant bob --wait \
+  --out "$WORK/bob.json"
+wait "$ALICE"
+
+# Both exports must be byte-identical to a direct parallel sweep.
+$REPRO sweep smoke --jobs 2 --cache-dir "$WORK/direct-cache" \
+  --export "$WORK/direct.json"
+cmp "$WORK/direct.json" "$WORK/alice.json"
+cmp "$WORK/direct.json" "$WORK/bob.json"
+
+# The 8 distinct smoke points executed once service-wide: every extra
+# request from the second tenant coalesced onto an in-flight
+# computation or hit the shared cache.  And nothing 500'd.
+curl -fsS "$URL/stats" -o "$WORK/stats.json"
+python - "$WORK/stats.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+computed = counters.get("service.points.computed", 0)
+extra = (counters.get("service.points.coalesced", 0)
+         + counters.get("service.points.cache_hits", 0))
+print(f"computed={computed} coalesced+cache_hits={extra}")
+assert computed == 8, counters
+assert computed + extra == 16, counters
+assert counters.get("service.http.5xx", 0) == 0, counters
+EOF
+
+# SIGTERM must drain and exit 0.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+echo "service-smoke: OK"

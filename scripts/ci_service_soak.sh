@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Nightly soak lane (also runnable locally): boot the service with a
+# bounded cache, drive it with the open-arrival self-load-test for
+# SOAK_DURATION seconds while /stats snapshots append to a JSONL
+# artifact, then fail on any 5xx, failed job, or stuck claimed job --
+# and still require a clean SIGTERM drain.
+#
+# Local use: SOAK_DURATION=30 SERVICE_PORT=8283 \
+#            REPRO="python -m repro.experiments.runner" \
+#            bash scripts/ci_service_soak.sh
+set -euo pipefail
+
+REPRO=${REPRO:-gs1280-repro}
+PORT="${SERVICE_PORT:-8180}"
+URL="http://127.0.0.1:${PORT}"
+WORK="${SOAK_WORKDIR:-.service-soak}"
+DURATION="${SOAK_DURATION:-600}"
+RATE="${SOAK_RATE:-4}"
+STATS_OUT="${SOAK_STATS_OUT:-soak-stats.jsonl}"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+$REPRO serve --db "$WORK/jobs.db" --cache-dir "$WORK/cache" \
+  --results-dir "$WORK/results" --port "$PORT" --workers 2 \
+  --cache-budget $((32 * 1024 * 1024)) > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  if curl -fsS "$URL/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -fsS "$URL/healthz"
+echo
+
+$REPRO service-soak --url "$URL" --duration "$DURATION" \
+  --rate "$RATE" --stats-out "$STATS_OUT" --stats-interval 10
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+echo "service-soak: OK"

@@ -11,6 +11,11 @@ Usage::
                  [--resume] [--fresh] [--export out.json|out.csv]
     gs1280-repro fuzz --seeds 100 [--fast] [--faults] [--replay '<json>']
     gs1280-repro oracle [--full] [--jobs N]
+    gs1280-repro serve [--port P] [--workers N] [--db F] [--cache-dir D]
+    gs1280-repro submit <spec.json|builtin> [--url U] [--tenant T]
+                 [--wait] [--out PATH]
+    gs1280-repro status [job-id] [--url U]
+    gs1280-repro service-soak [--url U] [--duration S] [--rate R]
 
 ``--jobs N`` fans the experiments of ``all``/``export`` out over N
 worker processes.  Experiments are pure functions of their id, fidelity
@@ -29,6 +34,12 @@ points, executes only the points missing from the content-addressed
 result cache, and can export the assembled grid as JSON or CSV.
 Campaigns are resumable by construction -- each point is persisted the
 moment it completes -- so an interrupted run costs nothing.
+
+``serve`` boots the simulation-as-a-service control plane (SQLite job
+queue + HTTP/JSON API + worker process pool, see :mod:`repro.service`
+and docs/service.md); ``submit``/``status`` are its thin clients and
+``service-soak`` drives a live server with the open-arrival traffic
+generator as a self-load-test.
 
 ``fuzz`` sweeps seeded random machines x workloads with the
 :mod:`repro.check` invariant checkers armed, shrinks any failure to a
@@ -219,6 +230,109 @@ def _run_capacity(args) -> int:
             _json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
         print(f"  [plan -> {args.json_out}]")
     return 0 if plan.max_users else 1
+
+
+def _run_serve(args) -> int:
+    """``serve``: the long-running job service (drains on SIGTERM)."""
+    from repro.service.app import ServeConfig, run_serve
+
+    config = ServeConfig(
+        db=args.db, cache_dir=args.cache_dir,
+        results_dir=args.results_dir, host=args.host, port=args.port,
+        workers=args.workers, lease_s=args.lease,
+        cache_budget=args.cache_budget,
+        respawn=not args.no_respawn,
+        drain_timeout_s=args.drain_timeout, verbose=args.verbose,
+    )
+    return run_serve(config)
+
+
+def _run_submit(args) -> int:
+    """``submit``: POST a campaign to a live service."""
+    import json as _json
+    import os
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if os.path.exists(args.spec):
+        with open(args.spec) as handle:
+            campaign = _json.load(handle)
+    else:
+        campaign = args.spec  # builtin name; server validates
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(
+            campaign, tenant=args.tenant, priority=args.priority,
+            fast=not args.full, seed=args.seed, export=args.export,
+        )
+    except ServiceError as exc:
+        print(f"submit failed: {exc}")
+        return 1
+    print(f"job {job['id']} ({job['state']}) tenant={job['tenant']}")
+    if not args.wait:
+        return 0
+
+    def _progress(event) -> None:
+        if event["kind"] == "point":
+            data = event["data"]
+            print(f"  point {data['index'] + 1}/{data['total']} "
+                  f"[{data['status']}]")
+        elif event["kind"] not in ("submitted",):
+            print(f"  {event['kind']}")
+
+    try:
+        final = client.wait(job["id"], timeout_s=args.timeout,
+                            on_event=_progress)
+    except ServiceError as exc:
+        print(f"wait failed: {exc}")
+        return 1
+    print(f"job {final['id']} -> {final['state']}")
+    if final["state"] != "done":
+        if final.get("error"):
+            print(final["error"])
+        return 1
+    if args.out is not None:
+        payload = client.result_bytes(final["id"])
+        with open(args.out, "wb") as handle:
+            handle.write(payload)
+        print(f"  [result: {len(payload)} bytes -> {args.out}]")
+    return 0
+
+
+def _run_status(args) -> int:
+    """``status``: one job's record, or the whole service's /stats."""
+    import json as _json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = (client.job(args.job_id) if args.job_id
+                   else client.stats())
+    except ServiceError as exc:
+        print(f"status failed: {exc}")
+        return 1
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_service_soak(args) -> int:
+    """``service-soak``: the open-arrival self-load-test."""
+    from repro.service.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        url=args.url, duration_s=args.duration, rate_per_s=args.rate,
+        seed=args.seed, stats_interval_s=args.stats_interval,
+        drain_grace_s=args.drain_grace,
+        stuck_claimed_s=args.stuck_claimed,
+    )
+    sink = open(args.stats_out, "w") if args.stats_out else None
+    try:
+        report = run_soak(config, log=print, stats_sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0 if report.ok else 1
 
 
 def _run_fuzz(args) -> int:
@@ -450,6 +564,76 @@ def main(argv: list[str] | None = None) -> int:
                        help="sharded scheduler backend (byte-identical)")
     cap_p.add_argument("--json-out", metavar="PATH",
                        help="write the full plan (probe trail) as JSON")
+    serve_p = sub.add_parser(
+        "serve", help="run the simulation-as-a-service control plane "
+        "(SQLite job queue + HTTP API + worker pool)")
+    serve_p.add_argument("--db", default=".gs1280-service/jobs.db",
+                         help="SQLite job store (WAL)")
+    serve_p.add_argument("--cache-dir", default=".gs1280-service/cache",
+                         help="shared content-addressed point cache")
+    serve_p.add_argument("--results-dir",
+                         default=".gs1280-service/results",
+                         help="per-tenant result namespaces")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8180,
+                         help="0 picks a free port")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="worker processes in the pool")
+    serve_p.add_argument("--lease", type=float, default=15.0,
+                         help="job claim lease seconds (heartbeat "
+                         "extends it)")
+    serve_p.add_argument("--cache-budget", type=int, default=None,
+                         help="cache byte budget; LRU entries are "
+                         "evicted past it (in-flight points protected)")
+    serve_p.add_argument("--no-respawn", action="store_true",
+                         help="do not respawn dead workers (crash-"
+                         "recovery CI uses this to control timing)")
+    serve_p.add_argument("--drain-timeout", type=float, default=120.0,
+                         help="max seconds to wait for workers on "
+                         "SIGTERM drain")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    submit_p = sub.add_parser(
+        "submit", help="submit a campaign to a running service")
+    submit_p.add_argument("spec", help="builtin campaign name or a "
+                          "campaign spec JSON file")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8180")
+    submit_p.add_argument("--tenant", default="default")
+    submit_p.add_argument("--priority", type=int, default=0)
+    submit_p.add_argument("--export", choices=["json", "csv"],
+                          default="json")
+    submit_p.add_argument("--full", action="store_true",
+                          help="full-fidelity grids for built-ins")
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll the event stream to completion")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait timeout seconds")
+    submit_p.add_argument("--out", metavar="PATH",
+                          help="with --wait: fetch the export bytes "
+                          "to PATH")
+    status_p = sub.add_parser(
+        "status", help="service /stats, or one job's record")
+    status_p.add_argument("job_id", nargs="?", default=None)
+    status_p.add_argument("--url", default="http://127.0.0.1:8180")
+    soak_p = sub.add_parser(
+        "service-soak", help="self-load-test a running service with "
+        "open-arrival traffic")
+    soak_p.add_argument("--url", default="http://127.0.0.1:8180")
+    soak_p.add_argument("--duration", type=float, default=60.0,
+                        help="submission window seconds")
+    soak_p.add_argument("--rate", type=float, default=5.0,
+                        help="total submissions/s across tenant classes")
+    soak_p.add_argument("--seed", type=int, default=0)
+    soak_p.add_argument("--stats-interval", type=float, default=10.0)
+    soak_p.add_argument("--stats-out", metavar="PATH",
+                        help="append /stats snapshots as JSONL")
+    soak_p.add_argument("--drain-grace", type=float, default=60.0,
+                        help="seconds to wait for stragglers after the "
+                        "window")
+    soak_p.add_argument("--stuck-claimed", type=float, default=120.0,
+                        help="a claimed job older than this at the end "
+                        "fails the soak")
     fuzz_p = sub.add_parser(
         "fuzz", help="sweep random machines x workloads with invariant "
         "checkers armed")
@@ -509,6 +693,14 @@ def main(argv: list[str] | None = None) -> int:
         return _run_sweep(args)
     if args.command == "capacity":
         return _run_capacity(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "status":
+        return _run_status(args)
+    if args.command == "service-soak":
+        return _run_service_soak(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "oracle":

@@ -15,7 +15,12 @@ from __future__ import annotations
 import pickle
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["ParallelWorkerError", "parallel_map", "shard_worker_pool"]
+__all__ = [
+    "ParallelWorkerError",
+    "WorkerSupervisor",
+    "parallel_map",
+    "shard_worker_pool",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -197,3 +202,81 @@ def shard_worker_pool(jobs: int) -> ShardWorkerPool | None:
         return ShardWorkerPool(jobs)
     except (OSError, RuntimeError, ImportError):
         return None
+
+
+class WorkerSupervisor:
+    """Long-lived child *processes* run from an argv factory.
+
+    The third fan-out shape next to :func:`parallel_map` (short-lived
+    pure tasks) and :class:`ShardWorkerPool` (shared-memory threads):
+    independent sibling processes that coordinate through external
+    state -- the service's SQLite-backed worker pool.  The supervisor
+    only spawns, counts, terminates and reaps; everything the children
+    *do* is their own business, which is what keeps a ``kill -9`` of a
+    child (or of the whole tree) a recoverable event for the caller.
+    """
+
+    def __init__(self, argv_for: Callable[[int], Sequence[str]]) -> None:
+        self._argv_for = argv_for
+        self._children: list[Any] = []  # subprocess.Popen
+
+    def spawn(self, count: int = 1) -> list[int]:
+        """Start ``count`` children; returns their pids."""
+        import subprocess
+
+        pids = []
+        for _ in range(count):
+            index = len(self._children)
+            child = subprocess.Popen(list(self._argv_for(index)))
+            self._children.append(child)
+            pids.append(child.pid)
+        return pids
+
+    def pids(self) -> list[int]:
+        return [c.pid for c in self._children if c.poll() is None]
+
+    def alive(self) -> int:
+        return len(self.pids())
+
+    def reap(self) -> int:
+        """Collect exited children; returns how many just exited."""
+        exited = [c for c in self._children if c.poll() is not None]
+        self._children = [c for c in self._children if c.poll() is None]
+        return len(exited)
+
+    def respawn_dead(self, target: int) -> list[int]:
+        """Top the pool back up to ``target`` live children."""
+        self.reap()
+        missing = target - self.alive()
+        return self.spawn(missing) if missing > 0 else []
+
+    def terminate(self) -> None:
+        """SIGTERM every live child (graceful drain request)."""
+        for child in self._children:
+            if child.poll() is None:
+                child.terminate()
+
+    def kill(self) -> None:
+        for child in self._children:
+            if child.poll() is None:
+                child.kill()
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Wait for every child to exit; ``False`` on timeout (some
+        children are still alive)."""
+        import time as _time
+
+        deadline = None if timeout_s is None else (
+            _time.monotonic() + timeout_s
+        )
+        for child in self._children:
+            remaining = None if deadline is None else max(
+                0.0, deadline - _time.monotonic()
+            )
+            try:
+                import subprocess
+
+                child.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                return False
+        return True

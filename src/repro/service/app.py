@@ -1,0 +1,160 @@
+"""``gs1280-repro serve``: wire store + HTTP + worker pool together.
+
+One ``serve`` process owns a deployment: it opens (or creates) the
+SQLite store, **reclaims** any job left ``claimed``/``running`` by a
+previous life whose worker is dead (this is the crash-resume path: a
+``kill -9`` of the whole tree, then a restart on the same ``--db`` and
+``--cache-dir``, re-queues the orphaned jobs and their next attempt
+re-uses every already-cached point), spawns the worker pool as child
+processes, starts the HTTP control plane, and runs a maintenance loop:
+
+* reclaim expired/dead-worker leases every tick, live;
+* (unless ``--no-respawn``) top the worker pool back up when a worker
+  dies -- the soak's self-healing guarantee.
+
+Shutdown is a drain: on SIGTERM/SIGINT the control plane refuses new
+submissions (503), workers get SIGTERM and finish the jobs they hold,
+and the process exits 0 once the pool is reaped (or non-zero if the
+drain timed out and workers had to be killed).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.campaign.cache import ResultCache
+from repro.parallel import WorkerSupervisor
+from repro.service.server import ControlPlane, serve_http
+from repro.service.store import JobStore
+
+__all__ = ["ServeConfig", "run_serve"]
+
+
+class ServeConfig:
+    """Everything ``serve`` needs, CLI-independent for tests."""
+
+    def __init__(
+        self,
+        db: str,
+        cache_dir: str,
+        results_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 8180,
+        workers: int = 2,
+        lease_s: float = 15.0,
+        cache_budget: int | None = None,
+        respawn: bool = True,
+        drain_timeout_s: float = 120.0,
+        maintenance_interval_s: float = 1.0,
+        verbose: bool = False,
+    ) -> None:
+        self.db = db
+        self.cache_dir = cache_dir
+        self.results_dir = results_dir
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.lease_s = lease_s
+        self.cache_budget = cache_budget
+        self.respawn = respawn
+        self.drain_timeout_s = drain_timeout_s
+        self.maintenance_interval_s = maintenance_interval_s
+        self.verbose = verbose
+
+    def worker_argv(self, index: int) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro.service.worker",
+            "--db", self.db,
+            "--cache-dir", self.cache_dir,
+            "--results-dir", self.results_dir,
+            "--worker-id", f"worker-{index}-{os.getpid()}",
+            "--lease", str(self.lease_s),
+        ]
+        if self.cache_budget is not None:
+            argv += ["--cache-budget", str(self.cache_budget)]
+        return argv
+
+
+def run_serve(config: ServeConfig,
+              log: Callable[[str], None] = print,
+              install_signals: bool = True,
+              stop: threading.Event | None = None) -> int:
+    """Run the service until signalled; returns the exit code.
+
+    ``install_signals=False`` plus an explicit ``stop`` event is the
+    in-process test seam; the CLI uses the default signal-driven path.
+    """
+    for directory in (config.cache_dir, config.results_dir):
+        Path(directory).mkdir(parents=True, exist_ok=True)
+    Path(config.db).parent.mkdir(parents=True, exist_ok=True)
+
+    store = JobStore(config.db)
+    cache = ResultCache(config.cache_dir, byte_budget=config.cache_budget)
+
+    # Crash recovery: anything still claimed/running belongs to a
+    # previous life of this deployment -- no worker of ours exists yet.
+    reclaimed = store.reclaim(check_pid=True)
+    if reclaimed:
+        log(f"serve: reclaimed {len(reclaimed)} orphaned job(s): "
+            + " ".join(reclaimed))
+
+    supervisor = WorkerSupervisor(config.worker_argv)
+    plane = ControlPlane(store, cache, config.results_dir,
+                         worker_pids=supervisor.pids)
+    server, http_thread = serve_http(plane, config.host, config.port,
+                                     verbose=config.verbose)
+    host, port = server.server_address[0], server.server_address[1]
+    supervisor.spawn(config.workers)
+    log(f"serve: listening on http://{host}:{port} "
+        f"(db={config.db}, cache={config.cache_dir}, "
+        f"workers={config.workers}"
+        + (f", cache_budget={config.cache_budget}"
+           if config.cache_budget is not None else "")
+        + ")")
+
+    stopping = stop if stop is not None else threading.Event()
+    if install_signals:
+        def _drain(signum, frame) -> None:
+            stopping.set()
+
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+
+    # Maintenance: reclaim expired/dead leases; keep the pool full.
+    while not stopping.wait(config.maintenance_interval_s):
+        reclaimed = store.reclaim(check_pid=True)
+        if reclaimed:
+            log(f"serve: reclaimed {len(reclaimed)} job(s) from "
+                "dead/expired workers")
+        if config.respawn:
+            respawned = supervisor.respawn_dead(config.workers)
+            if respawned:
+                log(f"serve: respawned {len(respawned)} worker(s): "
+                    f"pids {respawned}")
+
+    # Drain: no new submissions, workers finish their jobs, exit 0.
+    log("serve: draining (no new submissions; workers finish "
+        "running jobs)")
+    plane.draining.set()
+    supervisor.terminate()
+    drained = supervisor.wait(config.drain_timeout_s)
+    if not drained:
+        log("serve: drain timed out; killing remaining workers")
+        supervisor.kill()
+        supervisor.wait(5.0)
+    server.shutdown()
+    http_thread.join(timeout=5.0)
+    server.server_close()
+    store.close()
+    log("serve: stopped" + ("" if drained else " (drain timeout)"))
+    return 0 if drained else 1
+
+
+def _tick_once_for_tests(store: JobStore) -> list[str]:
+    """Single maintenance reclaim tick (test hook)."""
+    return store.reclaim(check_pid=True)

@@ -1,0 +1,132 @@
+"""Stdlib HTTP client for the service control plane.
+
+Used by ``gs1280-repro submit``/``status``, the soak driver, and the
+tests; nothing here knows about simulators -- it is JSON over
+``urllib`` with explicit timeouts and an exception type that keeps the
+HTTP status attached (the soak's fail-on-5xx gate reads it).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Mapping
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or transport failure, ``status=None``)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8180")``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Mapping[str, Any] | None = None,
+                 raw: bool = False) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(dict(body)).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - error body is best-effort
+                pass
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}"
+                + (f": {detail}" if detail else ""),
+                status=exc.code,
+            ) from None
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc}", status=None
+            ) from exc
+        return payload if raw else json.loads(payload)
+
+    # -- API -------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, campaign: str | Mapping[str, Any],
+               tenant: str = "default", priority: int = 0,
+               fast: bool = True, seed: int = 0,
+               export: str = "json") -> dict[str, Any]:
+        return self._request("POST", "/jobs", body={
+            "campaign": campaign, "tenant": tenant, "priority": priority,
+            "fast": fast, "seed": seed, "export": export,
+        })
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/events?since={since}")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        return self._request("GET", f"/jobs/{job_id}/result", raw=True)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    # -- conveniences ----------------------------------------------------
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.2,
+             on_event: Callable[[dict[str, Any]], None] | None = None,
+             ) -> dict[str, Any]:
+        """Poll the event stream until the job reaches a terminal
+        state; returns the final job record.  ``on_event`` sees every
+        progress event exactly once, in order."""
+        deadline = time.monotonic() + timeout_s
+        since = 0
+        while True:
+            page = self.events(job_id, since=since)
+            for event in page["events"]:
+                if on_event is not None:
+                    on_event(event)
+            since = page["next"]
+            if page["done"]:
+                return self.job(job_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} not finished after {timeout_s:.0f}s "
+                    f"(state {page['state']})"
+                )
+            time.sleep(poll_s)
+
+    def wait_healthy(self, timeout_s: float = 20.0,
+                     poll_s: float = 0.1) -> dict[str, Any]:
+        """Block until ``/healthz`` answers (server boot barrier)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_s)

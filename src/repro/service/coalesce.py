@@ -1,0 +1,175 @@
+"""In-flight request coalescing over the content-addressed cache.
+
+The :class:`~repro.campaign.cache.ResultCache` already dedupes
+*completed* work: identical points share one cache entry regardless of
+tenant.  Coalescing closes the remaining window -- two jobs that need
+the same point *at the same time*: the first worker to register the
+point's content hash in the ``inflight`` table computes it; every
+other worker waits for the entry to land in the cache instead of
+burning a duplicate simulation.
+
+The registry rides the :class:`~repro.service.store.JobStore`
+database, so coalescing works across worker *processes*.  Entries are
+leases, not locks: each records its owner's pid and a deadline, and a
+waiter breaks the lease the moment the owner's pid is dead (a
+SIGKILLed worker never wedges its points' waiters) or the deadline
+passes (a hung owner only costs the lease duration).
+
+Counters (telemetry registry + the store's cross-process ``stats``):
+
+* ``service.points.computed`` -- this process actually simulated it.
+* ``service.points.coalesced`` -- result obtained by waiting on
+  another worker's in-flight execution.
+* ``service.points.cache_hits`` -- already on disk; no wait, no work.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+from repro.campaign.cache import ResultCache
+from repro.service.store import JobStore, pid_alive
+
+__all__ = ["InflightRegistry", "compute_point_shared"]
+
+
+class InflightRegistry:
+    """The ``inflight`` table: point content hashes under computation."""
+
+    def __init__(self, store: JobStore, lease_s: float = 600.0) -> None:
+        self.store = store
+        self.lease_s = lease_s
+
+    def acquire(self, key: str, owner: str, pid: int) -> bool:
+        """Register ``key`` as being computed by ``owner``.
+
+        ``True`` means we own the computation; ``False`` means another
+        live worker already does (a dead or expired owner's entry is
+        taken over, returning ``True``).
+        """
+        now = time.time()
+        with self.store._tx() as conn:
+            row = conn.execute(
+                "SELECT owner, pid, deadline FROM inflight WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is not None:
+                live = row["deadline"] >= now and pid_alive(row["pid"])
+                if live and not (row["owner"] == owner
+                                 and row["pid"] == pid):
+                    return False
+            conn.execute(
+                "INSERT INTO inflight (key, owner, pid, deadline)"
+                " VALUES (?, ?, ?, ?) ON CONFLICT(key) DO UPDATE SET"
+                " owner = excluded.owner, pid = excluded.pid,"
+                " deadline = excluded.deadline",
+                (key, owner, pid, now + self.lease_s),
+            )
+        return True
+
+    def release(self, key: str, owner: str) -> None:
+        with self.store._tx() as conn:
+            conn.execute(
+                "DELETE FROM inflight WHERE key = ? AND owner = ?",
+                (key, owner),
+            )
+
+    def owner_alive(self, key: str) -> bool:
+        """Is the registered owner still worth waiting on?"""
+        row = self.store._conn().execute(
+            "SELECT pid, deadline FROM inflight WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return False
+        return row["deadline"] >= time.time() and pid_alive(row["pid"])
+
+    def live_keys(self) -> set[str]:
+        """Keys currently owned by a live worker -- the cache eviction
+        protect-set (an in-flight entry must never be evicted between
+        its owner's store and its waiters' loads)."""
+        now = time.time()
+        rows = self.store._conn().execute(
+            "SELECT key, pid, deadline FROM inflight"
+        ).fetchall()
+        return {
+            row["key"] for row in rows
+            if row["deadline"] >= now and pid_alive(row["pid"])
+        }
+
+
+def compute_point_shared(
+    inflight: InflightRegistry,
+    cache: ResultCache,
+    key: str,
+    kind: str,
+    params: Mapping[str, Any],
+    owner: str,
+    pid: int,
+    run: Callable[[str, Mapping[str, Any]], dict[str, Any]] | None = None,
+    poll_s: float = 0.05,
+) -> tuple[dict[str, Any], float, str]:
+    """One point's result, computed at most once service-wide.
+
+    Returns ``(result, elapsed_s, status)`` with ``status`` one of
+    ``"hit"`` (already cached), ``"computed"`` (this call simulated
+    it), or ``"coalesced"`` (another worker's in-flight execution was
+    awaited and its cache entry loaded).
+
+    The waiter loop re-checks the owner's liveness every poll, so a
+    killed owner costs one poll interval, not a lease timeout; when the
+    owner vanishes without having stored the entry, the waiter takes
+    over the computation itself.
+    """
+    from repro.telemetry import global_registry
+
+    if run is None:
+        from repro.campaign.points import run_point as run
+
+    def _bump(name: str) -> None:
+        # Cross-process via the store, in-process via telemetry (the
+        # store's bump() mirrors into the registry already).
+        inflight.store.bump(name)
+
+    entry = cache.load(key, kind, params)
+    if entry is not None:
+        _bump("service.points.cache_hits")
+        return entry["result"], float(entry.get("elapsed_s", 0.0)), "hit"
+
+    while True:
+        if inflight.acquire(key, owner, pid):
+            try:
+                # The acquire raced a store: re-probe before computing.
+                entry = cache.load(key, kind, params)
+                if entry is not None:
+                    _bump("service.points.cache_hits")
+                    return (entry["result"],
+                            float(entry.get("elapsed_s", 0.0)), "hit")
+                start = time.perf_counter()
+                result = run(kind, params)
+                elapsed = time.perf_counter() - start
+                cache.store(key, kind, params, result, elapsed)
+                _bump("service.points.computed")
+                registry = global_registry()
+                registry.counter("campaign.points.computed").value += 1
+                registry.counter(f"campaign.kind.{kind}.computed").value += 1
+                return result, elapsed, "computed"
+            finally:
+                inflight.release(key, owner)
+        # Someone else owns it: wait for their cache entry.
+        waited = False
+        while inflight.owner_alive(key):
+            waited = True
+            entry = cache.load(key, kind, params)
+            if entry is not None:
+                _bump("service.points.coalesced")
+                return (entry["result"],
+                        float(entry.get("elapsed_s", 0.0)), "coalesced")
+            time.sleep(poll_s)
+        # Owner finished or died; one more probe, else take over.
+        entry = cache.load(key, kind, params)
+        if entry is not None:
+            _bump("service.points.coalesced" if waited
+                  else "service.points.cache_hits")
+            return (entry["result"], float(entry.get("elapsed_s", 0.0)),
+                    "coalesced" if waited else "hit")

@@ -1,0 +1,302 @@
+"""The stdlib HTTP/JSON control plane.
+
+Routes (all JSON unless noted)::
+
+    POST   /jobs                submit {campaign, tenant?, priority?,
+                                fast?, seed?, export?} -> job record
+    GET    /jobs/{id}           job record with live progress
+    GET    /jobs/{id}/events    ?since=N -> incremental progress stream
+                                (lifecycle + per-point telemetry deltas)
+    GET    /jobs/{id}/result    the export bytes (json or csv) once done
+    DELETE /jobs/{id}           cancel (immediate if queued, cooperative
+                                if running)
+    GET    /healthz             {ok, draining, workers_alive}
+    GET    /stats               queue depths, service counters, cache
+                                accounting, worker pids, uptime
+
+Implementation notes: ``ThreadingHTTPServer`` handles each request on
+a thread, and :class:`~repro.service.store.JobStore` keeps per-thread
+SQLite connections, so no shared mutable state lives in the handlers.
+Submissions during drain are refused with 503 so ``SIGTERM`` means "no
+new work, finish what's running".  Every response path is accounted:
+``service.http.requests`` / ``service.http.5xx`` feed the soak's
+fail-on-5xx gate.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.campaign.cache import ResultCache
+from repro.service.store import JobStore, TERMINAL_STATES
+from repro.service.worker import EXPORT_FORMATS, safe_tenant
+
+__all__ = ["ControlPlane", "ServiceHTTPServer", "serve_http"]
+
+_MAX_BODY = 4 * 1024 * 1024  # a campaign spec, not a dataset
+
+
+class ControlPlane:
+    """Request-independent service state shared by handler threads."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache: ResultCache,
+        results_dir: str | Path,
+        worker_pids: Callable[[], list[int]] = lambda: [],
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.results_dir = Path(results_dir)
+        self.worker_pids = worker_pids
+        self.draining = threading.Event()
+        self.started_at = time.time()
+
+    # -- route bodies ----------------------------------------------------
+    def submit(self, body: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        if self.draining.is_set():
+            return 503, {"error": "service is draining; resubmit later"}
+        campaign = body.get("campaign")
+        if not isinstance(campaign, (str, dict)):
+            return 400, {"error": "'campaign' must be a builtin name "
+                                  "or a campaign spec object"}
+        export = str(body.get("export", "json"))
+        if export not in EXPORT_FORMATS:
+            return 400, {"error": f"'export' must be one of "
+                                  f"{list(EXPORT_FORMATS)}"}
+        try:
+            priority = int(body.get("priority", 0))
+            seed = int(body.get("seed", 0))
+        except (TypeError, ValueError):
+            return 400, {"error": "'priority' and 'seed' must be integers"}
+        tenant = safe_tenant(str(body.get("tenant", "default")))
+        spec = {
+            "campaign": campaign,
+            "fast": bool(body.get("fast", True)),
+            "seed": seed,
+            "export": export,
+        }
+        # Validate the campaign *before* enqueueing so a bad spec is a
+        # 400 at submit time, not a failed job discovered by polling.
+        from repro.service.worker import resolve_campaign
+
+        try:
+            resolve_campaign(spec)
+        except Exception as exc:
+            return 400, {"error": str(exc)}
+        job_id = self.store.submit(tenant, spec, priority=priority)
+        job = self.store.get(job_id)
+        assert job is not None
+        return 201, job.to_dict()
+
+    def job(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        job = self.store.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        return 200, job.to_dict()
+
+    def events(self, job_id: str,
+               since: int) -> tuple[int, dict[str, Any]]:
+        job = self.store.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        events = self.store.events_since(job_id, since=since)
+        next_seq = events[-1]["seq"] if events else since
+        return 200, {
+            "job": job_id,
+            "state": job.state,
+            "events": events,
+            "next": next_seq,
+            "done": job.state in TERMINAL_STATES,
+        }
+
+    def result(self, job_id: str) -> tuple[int, dict[str, Any]] | bytes:
+        job = self.store.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        if job.state != "done" or not job.result_path:
+            return 409, {"error": f"job {job_id} is {job.state}, "
+                                  "not done"}
+        try:
+            return Path(job.result_path).read_bytes()
+        except OSError:
+            return 410, {"error": "result export is gone "
+                                  "(evicted or relocated)"}
+
+    def cancel(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        state = self.store.request_cancel(job_id)
+        if state is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        return 202, {"id": job_id, "state": state}
+
+    def healthz(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "ok": True,
+            "draining": self.draining.is_set(),
+            "workers_alive": len(self.worker_pids()),
+        }
+
+    def stats(self) -> tuple[int, dict[str, Any]]:
+        claimed_ages = [
+            time.time() - (job.started_at or job.submitted_at)
+            for job in self.store.jobs_in(("claimed",))
+        ]
+        return 200, {
+            "uptime_s": time.time() - self.started_at,
+            "draining": self.draining.is_set(),
+            "jobs": self.store.counts_by_state(),
+            "counters": self.store.stats_counters(),
+            "workers": {
+                "pids": self.worker_pids(),
+                "alive": len(self.worker_pids()),
+            },
+            "cache": {
+                "entries": len(self.cache),
+                "bytes": self.cache.total_bytes(),
+                "byte_budget": self.cache.byte_budget,
+            },
+            "oldest_claimed_s": max(claimed_ages, default=0.0),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin routing shim over the :class:`ControlPlane`."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.server.verbose:  # pragma: no cover - operator aid
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self._account(status)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, payload: bytes, content_type: str) -> None:
+        self._account(200)
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _account(self, status: int) -> None:
+        plane = self.server.plane
+        plane.store.bump("service.http.requests")
+        if status >= 500:
+            plane.store.bump("service.http.5xx")
+
+    def _body(self) -> dict[str, Any] | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > _MAX_BODY:
+            return None
+        try:
+            parsed = json.loads(self.rfile.read(length))
+        except (ValueError, OSError):
+            return None
+        return parsed if isinstance(parsed, dict) else None
+
+    def _dispatch(self, method: str) -> None:
+        plane = self.server.plane
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if method == "GET" and parts == ["healthz"]:
+                return self._send_json(*plane.healthz())
+            if method == "GET" and parts == ["stats"]:
+                return self._send_json(*plane.stats())
+            if method == "POST" and parts == ["jobs"]:
+                body = self._body()
+                if body is None:
+                    return self._send_json(
+                        400, {"error": "body must be a JSON object"}
+                    )
+                return self._send_json(*plane.submit(body))
+            if len(parts) == 2 and parts[0] == "jobs":
+                if method == "GET":
+                    return self._send_json(*plane.job(parts[1]))
+                if method == "DELETE":
+                    return self._send_json(*plane.cancel(parts[1]))
+            if (method == "GET" and len(parts) == 3
+                    and parts[0] == "jobs" and parts[2] == "events"):
+                query = parse_qs(url.query)
+                try:
+                    since = int(query.get("since", ["0"])[0])
+                except ValueError:
+                    return self._send_json(
+                        400, {"error": "'since' must be an integer"}
+                    )
+                return self._send_json(*plane.events(parts[1], since))
+            if (method == "GET" and len(parts) == 3
+                    and parts[0] == "jobs" and parts[2] == "result"):
+                outcome = plane.result(parts[1])
+                if isinstance(outcome, bytes):
+                    job = plane.store.get(parts[1])
+                    content_type = (
+                        "text/csv" if job and str(job.result_path)
+                        .endswith(".csv") else "application/json"
+                    )
+                    return self._send_bytes(outcome, content_type)
+                return self._send_json(*outcome)
+            return self._send_json(
+                404, {"error": f"no route {method} {url.path}"}
+            )
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # noqa: BLE001 - boundary: become a 500
+            try:
+                self._send_json(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except Exception:  # noqa: BLE001 - socket already gone
+                pass
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the control plane for handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], plane: ControlPlane,
+                 verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.plane = plane
+        self.verbose = verbose
+
+
+def serve_http(plane: ControlPlane, host: str = "127.0.0.1",
+               port: int = 0,
+               verbose: bool = False) -> tuple[ServiceHTTPServer,
+                                               threading.Thread]:
+    """Bind and start serving on a daemon thread; returns both so the
+    caller owns shutdown ordering."""
+    server = ServiceHTTPServer((host, port), plane, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="service-http", daemon=True,
+        kwargs={"poll_interval": 0.1},
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,316 @@
+"""The service worker: claim a job, run its points, export, repeat.
+
+One worker is one OS process (``gs1280-repro serve`` spawns a pool of
+them via ``python -m repro.service.worker``); for in-process tests the
+same loop runs happily on a thread with a ``threading.Event`` as the
+stop signal.  The loop is deliberately boring:
+
+1. :meth:`JobStore.claim` the best queued job (priority, then
+   submission order) under a lease.
+2. Expand its campaign spec exactly the way ``gs1280-repro sweep``
+   does, then execute the points *in expansion order* through
+   :func:`~repro.service.coalesce.compute_point_shared` -- cache hits
+   are free, in-flight duplicates coalesce, everything computed is
+   persisted to the shared content-addressed cache before the job
+   advances.  A heartbeat thread extends the lease while points run.
+3. Assemble the same :class:`~repro.campaign.engine.CampaignResult`
+   the sweep CLI would and write its export atomically into the
+   tenant's result namespace; ``mark_done``.
+
+Because every point lands in the cache the moment it completes, a
+worker killed mid-job loses *no* completed work: the reclaimed job's
+next attempt re-expands the same points, hits the cache for the done
+ones, and produces a byte-identical export.
+
+Cancellation is cooperative with point granularity: the worker checks
+``cancel_requested`` between points and acknowledges with
+``mark_cancelled``.
+
+SIGTERM drains: the current job runs to completion, then the loop
+exits instead of claiming again.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import sys
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.engine import (
+    CampaignResult,
+    PointOutcome,
+    expand_points,
+    export_csv,
+    export_json,
+)
+from repro.campaign.spec import CampaignSpec, spec_from_dict
+from repro.service.coalesce import InflightRegistry, compute_point_shared
+from repro.service.store import Job, JobStore
+
+__all__ = [
+    "JobAbandoned",
+    "execute_job",
+    "main",
+    "resolve_campaign",
+    "run_worker",
+    "safe_tenant",
+]
+
+_TENANT_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+#: Export formats a job may request.
+EXPORT_FORMATS = ("json", "csv")
+
+
+def safe_tenant(tenant: str) -> str:
+    """A tenant name usable as a single path component (namespaces are
+    directories; never let a tenant escape its own)."""
+    cleaned = _TENANT_RE.sub("_", tenant.strip()) or "default"
+    return cleaned.lstrip(".") or "default"
+
+
+class JobAbandoned(RuntimeError):
+    """The job was reclaimed or cancelled under us; stop touching it."""
+
+
+def resolve_campaign(spec: Mapping[str, Any]) -> CampaignSpec:
+    """A job spec's campaign: a builtin name or an inline spec dict.
+
+    Mirrors ``gs1280-repro sweep`` exactly (same builtin constructors,
+    same ``fast``/``seed`` defaults), which is what makes a service
+    export byte-comparable to a direct sweep of the same campaign.
+    """
+    campaign = spec.get("campaign")
+    if isinstance(campaign, str):
+        from repro.campaign import builtin_campaign, builtin_names
+
+        try:
+            return builtin_campaign(
+                campaign,
+                fast=bool(spec.get("fast", True)),
+                seed=int(spec.get("seed", 0)),
+            )
+        except KeyError:
+            raise ValueError(
+                f"unknown builtin campaign {campaign!r}; "
+                f"built-ins: {' '.join(builtin_names())}"
+            ) from None
+    if isinstance(campaign, Mapping):
+        return spec_from_dict(campaign)
+    raise ValueError(
+        "job spec needs 'campaign': a builtin name or a spec object"
+    )
+
+
+class _Heartbeat:
+    """Lease extension on a thread while the job's points execute."""
+
+    def __init__(self, store: JobStore, job_id: str, worker: str,
+                 lease_s: float) -> None:
+        self._store = store
+        self._job_id = job_id
+        self._worker = worker
+        self._lease_s = lease_s
+        self._stop = threading.Event()
+        self.lost = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{job_id}", daemon=True
+        )
+
+    def _run(self) -> None:
+        interval = max(self._lease_s / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            if not self._store.heartbeat(
+                self._job_id, self._worker, self._lease_s
+            ):
+                self.lost.set()
+                return
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _write_result(path: Path, text: str) -> None:
+    """Atomic write so a half-written export is never served."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def execute_job(
+    job: Job,
+    store: JobStore,
+    cache: ResultCache,
+    inflight: InflightRegistry,
+    results_dir: str | Path,
+    worker: str,
+    pid: int,
+    lease_s: float = 15.0,
+) -> str:
+    """Run one claimed job to its terminal state; returns that state."""
+    try:
+        spec = resolve_campaign(job.spec)
+        export_format = str(job.spec.get("export", "json"))
+        if export_format not in EXPORT_FORMATS:
+            raise ValueError(
+                f"unknown export format {export_format!r}; "
+                f"one of {EXPORT_FORMATS}"
+            )
+        points = expand_points(spec)
+    except Exception as exc:
+        store.mark_failed(job.id, worker, f"{type(exc).__name__}: {exc}")
+        return "failed"
+
+    if not store.mark_running(job.id, worker, len(points)):
+        return "abandoned"  # reclaimed between claim and start
+
+    from repro.telemetry import global_registry
+
+    registry = global_registry()
+    entries: dict[str, tuple[dict[str, Any], float, str]] = {}
+    try:
+        with _Heartbeat(store, job.id, worker, lease_s) as beat:
+            for index, pt in enumerate(points):
+                if beat.lost.is_set():
+                    raise JobAbandoned(job.id)
+                if store.cancel_requested(job.id):
+                    store.mark_cancelled(job.id, worker)
+                    return "cancelled"
+                if pt.key in entries:
+                    store.record_point(job.id, worker, index, len(points),
+                                       pt.key, "shared")
+                    continue
+                with registry.deltas() as delta:
+                    result, elapsed, status = compute_point_shared(
+                        inflight, cache, pt.key, pt.kind, pt.params,
+                        owner=worker, pid=pid,
+                    )
+                entries[pt.key] = (result, elapsed, status)
+                if status == "computed" and cache.byte_budget is not None:
+                    evicted = cache.evict_to_budget(
+                        protect=inflight.live_keys() | {pt.key}
+                    )
+                    if evicted:
+                        store.bump("service.cache.evicted", len(evicted))
+                store.record_point(job.id, worker, index, len(points),
+                                   pt.key, status, telemetry=delta)
+    except JobAbandoned:
+        return "abandoned"
+    except Exception as exc:
+        store.mark_failed(
+            job.id, worker,
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        )
+        return "failed"
+
+    outcomes = [
+        PointOutcome(
+            point=pt,
+            result=entries[pt.key][0],
+            status="computed" if entries[pt.key][2] == "computed" else "hit",
+            elapsed_s=entries[pt.key][1],
+        )
+        for pt in points
+    ]
+    campaign_result = CampaignResult(
+        name=spec.name, outcomes=outcomes, wall_s=0.0,
+        cache_dir=str(cache.root),
+    )
+    text = (export_csv(campaign_result) if export_format == "csv"
+            else export_json(campaign_result))
+    result_path = (Path(results_dir) / safe_tenant(job.tenant)
+                   / f"{job.id}.{export_format}")
+    _write_result(result_path, text)
+    if not store.mark_done(job.id, worker, str(result_path)):
+        return "abandoned"
+    return "done"
+
+
+def run_worker(
+    db: str | Path,
+    cache_dir: str | Path,
+    results_dir: str | Path,
+    worker_id: str,
+    stop: threading.Event,
+    lease_s: float = 15.0,
+    poll_s: float = 0.1,
+    cache_budget: int | None = None,
+    inflight_lease_s: float = 600.0,
+    idle_exit_s: float | None = None,
+) -> int:
+    """The claim/execute loop; returns the number of jobs handled.
+
+    ``stop`` drains: set it and the worker exits after finishing the
+    job in hand (or immediately if idle).  ``idle_exit_s`` lets tests
+    and one-shot tools run the loop to quiescence.
+    """
+    store = JobStore(db)
+    cache = ResultCache(cache_dir, byte_budget=cache_budget)
+    inflight = InflightRegistry(store, lease_s=inflight_lease_s)
+    pid = os.getpid()
+    handled = 0
+    idle_since = time.monotonic()
+    while not stop.is_set():
+        job = store.claim(worker_id, pid, lease_s)
+        if job is None:
+            if (idle_exit_s is not None
+                    and time.monotonic() - idle_since >= idle_exit_s):
+                break
+            stop.wait(poll_s)
+            continue
+        execute_job(job, store, cache, inflight, results_dir,
+                    worker_id, pid, lease_s=lease_s)
+        handled += 1
+        idle_since = time.monotonic()
+    store.close()
+    return handled
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.service.worker`` -- one pool member."""
+    parser = argparse.ArgumentParser(prog="repro-service-worker")
+    parser.add_argument("--db", required=True)
+    parser.add_argument("--cache-dir", required=True)
+    parser.add_argument("--results-dir", required=True)
+    parser.add_argument("--worker-id", default=None)
+    parser.add_argument("--lease", type=float, default=15.0)
+    parser.add_argument("--poll", type=float, default=0.1)
+    parser.add_argument("--cache-budget", type=int, default=None,
+                        help="result-cache byte budget (LRU eviction)")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        help="exit after this many idle seconds "
+                        "(default: run until signalled)")
+    args = parser.parse_args(argv)
+
+    worker_id = args.worker_id or f"worker-{os.getpid()}"
+    stop = threading.Event()
+
+    def _drain(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    run_worker(
+        args.db, args.cache_dir, args.results_dir, worker_id, stop,
+        lease_s=args.lease, poll_s=args.poll,
+        cache_budget=args.cache_budget, idle_exit_s=args.idle_exit,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

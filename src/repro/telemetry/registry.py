@@ -23,7 +23,8 @@ they can be diffed (:meth:`delta`), merged across ``--jobs`` workers
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Mapping
 
 __all__ = ["Counter", "CounterRegistry", "as_tree", "total"]
 
@@ -122,6 +123,28 @@ class CounterRegistry:
             for name, value in snap.items():
                 merged[name] = merged.get(name, 0) + value
         return {name: merged[name] for name in sorted(merged)}
+
+    @contextmanager
+    def deltas(self) -> Iterator[dict[str, int | float]]:
+        """Measure the counter movement across a block.
+
+        Yields a dict that is *filled in on exit* with
+        ``delta(before, after)`` of this registry -- the idiom the
+        service worker uses to attach each point's counter activity to
+        its progress event::
+
+            with registry.deltas() as moved:
+                run_point(...)
+            publish(moved)  # {"campaign.points.computed": 1, ...}
+        """
+        moved: dict[str, int | float] = {}
+        before = self.snapshot()
+        try:
+            yield moved
+        finally:
+            for name, value in self.delta(before, self.snapshot()).items():
+                if value:
+                    moved[name] = value
 
     def absorb(self, snapshot: Mapping[str, int | float]) -> None:
         """Add a (worker) snapshot's values into this registry's owned

@@ -1,0 +1,199 @@
+"""Crash-safety of the real deployment shape: ``serve`` as a child
+process with its own worker pool, killed and restarted mid-campaign.
+
+These are the process-level twins of the CI ``service-crash-resume``
+lane: SIGKILL of workers *and* server mid-run must converge -- after a
+restart on the same database -- to an export byte-identical to a
+direct engine run, and SIGTERM must drain cleanly with exit code 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.engine import export_json, run_campaign
+from repro.campaign.spec import spec_from_dict
+from repro.service.client import ServiceClient
+
+pytestmark = pytest.mark.slow
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Simulation-heavy points (a few hundred ms each) so "mid-campaign"
+# is a wide-open window for the SIGKILL: ~2 s of work over 4 points.
+SLOW_SPEC = {
+    "name": "crash-probe",
+    "sweeps": [{
+        "name": "lt", "kind": "load_test",
+        "base": {"system": "GS1280", "cpus": 16, "seed": 0,
+                 "warmup_ns": 4000.0, "window_ns": 15000.0},
+        "grid": {"outstanding": [2, 4, 6, 8]},
+    }],
+}
+
+
+def _spawn_serve(tmp_path: Path, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.experiments.runner",
+            "serve",
+            "--db", str(tmp_path / "jobs.db"),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--results-dir", str(tmp_path / "results"),
+            "--port", "0",
+            *extra,
+        ],
+        env=env, cwd=str(tmp_path),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _wait_for_url(proc: subprocess.Popen,
+                  timeout_s: float = 30.0) -> str:
+    """Read serve's stdout until it announces the bound address."""
+    deadline = time.monotonic() + timeout_s
+    lines: list[str] = []
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                break
+            continue
+        lines.append(line)
+        if "listening on " in line:
+            return line.split("listening on ", 1)[1].split()[0]
+    raise AssertionError(
+        "serve never announced its address:\n" + "".join(lines)
+    )
+
+
+def _drain_stdout(proc: subprocess.Popen) -> None:
+    """Keep the child's pipe from filling once we stop readline()ing."""
+    import threading
+
+    assert proc.stdout is not None
+    threading.Thread(target=proc.stdout.read, daemon=True).start()
+
+
+def _direct_bytes(tmp_path: Path) -> bytes:
+    direct = run_campaign(
+        spec_from_dict(SLOW_SPEC),
+        cache_dir=tmp_path / "direct-cache",
+    )
+    return export_json(direct).encode()
+
+
+class TestSigtermDrain:
+    def test_sigterm_after_work_exits_zero(self, tmp_path):
+        proc = _spawn_serve(tmp_path, "--workers", "1")
+        try:
+            url = _wait_for_url(proc)
+            _drain_stdout(proc)
+            client = ServiceClient(url, timeout_s=10.0)
+            client.wait_healthy()
+            job = client.submit("smoke", tenant="drain")
+            final = client.wait(job["id"], timeout_s=120)
+            assert final["state"] == "done"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_sigterm_idle_exits_zero(self, tmp_path):
+        proc = _spawn_serve(tmp_path, "--workers", "2")
+        try:
+            url = _wait_for_url(proc)
+            _drain_stdout(proc)
+            ServiceClient(url, timeout_s=10.0).wait_healthy()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+class TestSigkillResume:
+    def test_kill9_mid_campaign_resumes_byte_identical(self, tmp_path):
+        """Kill workers and server with SIGKILL once the campaign is
+        partway through, restart on the same database, and require the
+        final export to match a direct run byte for byte."""
+        # Slow the run down so "mid-campaign" is a wide-open window:
+        # full-fidelity points take long enough to straddle the kill.
+        proc = _spawn_serve(
+            tmp_path, "--workers", "1", "--no-respawn", "--lease", "2",
+        )
+        job_id = None
+        try:
+            url = _wait_for_url(proc)
+            _drain_stdout(proc)
+            client = ServiceClient(url, timeout_s=10.0)
+            client.wait_healthy()
+            job_id = client.submit(SLOW_SPEC, tenant="crash")["id"]
+
+            # Wait until some -- but not all -- points are recorded.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                page = client.events(job_id)
+                points = [e for e in page["events"]
+                          if e["kind"] == "point"]
+                if page["done"] or points:
+                    break
+                time.sleep(0.02)
+            assert not page["done"], (
+                "campaign finished before the kill; "
+                "SLOW_SPEC is not slow enough"
+            )
+
+            worker_pids = client.stats()["workers"]["pids"]
+            assert worker_pids, "no workers to kill"
+            for pid in worker_pids:
+                os.kill(pid, signal.SIGKILL)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+            for pid in worker_pids:  # workers are orphans now; reap not ours
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    try:
+                        os.kill(pid, 0)
+                    except OSError:
+                        break
+                    time.sleep(0.05)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        # Restart on the same database: the dead worker's claim must be
+        # reclaimed and the job must run to completion.
+        proc2 = _spawn_serve(tmp_path, "--workers", "1", "--lease", "2")
+        try:
+            url2 = _wait_for_url(proc2)
+            _drain_stdout(proc2)
+            client2 = ServiceClient(url2, timeout_s=10.0)
+            client2.wait_healthy()
+            final = client2.wait(job_id, timeout_s=180)
+            assert final["state"] == "done"
+            assert final["attempts"] >= 2  # the first claim died
+            kinds = [e["kind"]
+                     for e in client2.events(job_id)["events"]]
+            assert "reclaimed" in kinds
+            body = client2.result_bytes(job_id)
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=60) == 0
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait(timeout=10)
+
+        assert body == _direct_bytes(tmp_path)
