@@ -16,6 +16,7 @@ Usage::
                  [--wait] [--out PATH]
     gs1280-repro status [job-id] [--url U]
     gs1280-repro service-soak [--url U] [--duration S] [--rate R]
+    gs1280-repro chaos-soak [--duration S] [--seed N] [--chaos JSON]
 
 ``--jobs N`` fans the experiments of ``all``/``export`` out over N
 worker processes.  Experiments are pure functions of their id, fidelity
@@ -39,7 +40,12 @@ moment it completes -- so an interrupted run costs nothing.
 queue + HTTP/JSON API + worker process pool, see :mod:`repro.service`
 and docs/service.md); ``submit``/``status`` are its thin clients and
 ``service-soak`` drives a live server with the open-arrival traffic
-generator as a self-load-test.
+generator as a self-load-test.  ``chaos-soak`` boots its own
+deployment with a seeded :class:`~repro.service.chaos.ChaosPolicy`
+armed plus per-tenant admission control and proves zero lost or
+duplicated jobs under a two-tenant flood (docs/resilience.md); the
+clients retry with capped jittered backoff and idempotency keys, so
+``submit --retries`` survives injected faults without double-enqueueing.
 
 ``fuzz`` sweeps seeded random machines x workloads with the
 :mod:`repro.check` invariant checkers armed, shrinks any failure to a
@@ -243,8 +249,21 @@ def _run_serve(args) -> int:
         cache_budget=args.cache_budget,
         respawn=not args.no_respawn,
         drain_timeout_s=args.drain_timeout, verbose=args.verbose,
+        chaos=args.chaos,
+        tenant_rate_per_s=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        queue_limit=args.queue_limit,
+        shed_inflight=args.shed_inflight,
     )
     return run_serve(config)
+
+
+def _client_retry(attempts: int):
+    """CLI clients retry by default (429/5xx/connect, jittered); an
+    ``--retries 1`` opts back into fail-fast."""
+    from repro.service.resilience import RetryPolicy
+
+    return RetryPolicy(max_attempts=attempts) if attempts > 1 else None
 
 
 def _run_submit(args) -> int:
@@ -259,7 +278,7 @@ def _run_submit(args) -> int:
             campaign = _json.load(handle)
     else:
         campaign = args.spec  # builtin name; server validates
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, retry=_client_retry(args.retries))
     try:
         job = client.submit(
             campaign, tenant=args.tenant, priority=args.priority,
@@ -305,7 +324,7 @@ def _run_status(args) -> int:
 
     from repro.service.client import ServiceClient, ServiceError
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, retry=_client_retry(args.retries))
     try:
         payload = (client.job(args.job_id) if args.job_id
                    else client.stats())
@@ -332,6 +351,24 @@ def _run_service_soak(args) -> int:
     finally:
         if sink is not None:
             sink.close()
+    return 0 if report.ok else 1
+
+
+def _run_chaos_soak(args) -> int:
+    """``chaos-soak``: chaos-armed deployment + two-tenant campaign."""
+    from repro.service.chaos import policy_from_value
+    from repro.service.chaos_soak import ChaosSoakConfig, run_chaos_soak
+
+    config = ChaosSoakConfig(
+        workdir=args.workdir, duration_s=args.duration, seed=args.seed,
+        workers=args.workers, lease_s=args.lease,
+        chaos=(policy_from_value(args.chaos)
+               if args.chaos is not None else None),
+        greedy_rate_per_s=args.greedy_rate,
+        tenant_rate_per_s=args.tenant_rate,
+        drain_grace_s=args.drain_grace,
+    )
+    report = run_chaos_soak(config, log=print)
     return 0 if report.ok else 1
 
 
@@ -593,6 +630,22 @@ def main(argv: list[str] | None = None) -> int:
                          "SIGTERM drain")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    serve_p.add_argument("--chaos", metavar="JSON", default=None,
+                         help="ChaosPolicy JSON (inline or a file); "
+                         "arms deterministic fault injection across "
+                         "server, store and workers (docs/resilience.md)")
+    serve_p.add_argument("--tenant-rate", type=float, default=None,
+                         metavar="R",
+                         help="per-tenant sustained submissions/s "
+                         "(token bucket; refusals are 429 + Retry-After)")
+    serve_p.add_argument("--tenant-burst", type=float, default=10.0,
+                         help="per-tenant token-bucket burst size")
+    serve_p.add_argument("--queue-limit", type=int, default=None,
+                         help="refuse submissions past this many "
+                         "queued jobs")
+    serve_p.add_argument("--shed-inflight", type=int, default=None,
+                         help="shed observability routes past this "
+                         "many in-flight requests (submissions past 2x)")
     submit_p = sub.add_parser(
         "submit", help="submit a campaign to a running service")
     submit_p.add_argument("spec", help="builtin campaign name or a "
@@ -612,10 +665,15 @@ def main(argv: list[str] | None = None) -> int:
     submit_p.add_argument("--out", metavar="PATH",
                           help="with --wait: fetch the export bytes "
                           "to PATH")
+    submit_p.add_argument("--retries", type=int, default=5,
+                          help="max attempts per request (capped "
+                          "jittered backoff; 1 disables retrying)")
     status_p = sub.add_parser(
         "status", help="service /stats, or one job's record")
     status_p.add_argument("job_id", nargs="?", default=None)
     status_p.add_argument("--url", default="http://127.0.0.1:8180")
+    status_p.add_argument("--retries", type=int, default=3,
+                          help="max attempts per request (1 disables)")
     soak_p = sub.add_parser(
         "service-soak", help="self-load-test a running service with "
         "open-arrival traffic")
@@ -634,6 +692,29 @@ def main(argv: list[str] | None = None) -> int:
     soak_p.add_argument("--stuck-claimed", type=float, default=120.0,
                         help="a claimed job older than this at the end "
                         "fails the soak")
+    chaos_p = sub.add_parser(
+        "chaos-soak", help="boot a chaos-armed deployment and prove "
+        "zero lost/duplicated jobs under two-tenant load")
+    chaos_p.add_argument("--workdir", default=".gs1280-chaos-soak",
+                         help="driver-owned deployment directory "
+                         "(db, cache, results)")
+    chaos_p.add_argument("--duration", type=float, default=30.0,
+                         help="submission window seconds")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="seeds the chaos policy AND the traffic")
+    chaos_p.add_argument("--workers", type=int, default=2)
+    chaos_p.add_argument("--lease", type=float, default=2.0,
+                         help="short claim lease so chaos stalls force "
+                         "real lease-expiry reclaims")
+    chaos_p.add_argument("--chaos", metavar="JSON", default=None,
+                         help="ChaosPolicy JSON override (default: "
+                         "the built-in aggressive policy)")
+    chaos_p.add_argument("--greedy-rate", type=float, default=12.0,
+                         help="greedy tenant's offered submissions/s")
+    chaos_p.add_argument("--tenant-rate", type=float, default=3.0,
+                         help="per-tenant admitted submissions/s")
+    chaos_p.add_argument("--drain-grace", type=float, default=90.0,
+                         help="seconds for stragglers after the window")
     fuzz_p = sub.add_parser(
         "fuzz", help="sweep random machines x workloads with invariant "
         "checkers armed")
@@ -701,6 +782,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_status(args)
     if args.command == "service-soak":
         return _run_service_soak(args)
+    if args.command == "chaos-soak":
+        return _run_chaos_soak(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "oracle":

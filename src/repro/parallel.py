@@ -219,14 +219,22 @@ class WorkerSupervisor:
     def __init__(self, argv_for: Callable[[int], Sequence[str]]) -> None:
         self._argv_for = argv_for
         self._children: list[Any] = []  # subprocess.Popen
+        self._spawned = 0  # lifetime count; indices are never reused
 
     def spawn(self, count: int = 1) -> list[int]:
-        """Start ``count`` children; returns their pids."""
+        """Start ``count`` children; returns their pids.
+
+        Indices passed to ``argv_for`` increase monotonically across
+        the supervisor's lifetime -- after a reap-and-respawn, the new
+        child must not share an identity (e.g. a worker id) with a
+        live sibling.
+        """
         import subprocess
 
         pids = []
         for _ in range(count):
-            index = len(self._children)
+            index = self._spawned
+            self._spawned += 1
             child = subprocess.Popen(list(self._argv_for(index)))
             self._children.append(child)
             pids.append(child.pid)
@@ -255,6 +263,27 @@ class WorkerSupervisor:
         for child in self._children:
             if child.poll() is None:
                 child.terminate()
+
+    def kill_one(self, pid: int | None = None) -> int | None:
+        """SIGKILL one live child (``pid`` or the oldest); returns the
+        pid killed, or ``None`` if no live child matched.  This is the
+        chaos hook: a deterministic "worker died mid-job" event that
+        ``respawn_dead`` then heals."""
+        for child in self._children:
+            if child.poll() is None and (pid is None or child.pid == pid):
+                child.kill()
+                return child.pid
+        return None
+
+    def signal_one(self, sig: int, pid: int | None = None) -> int | None:
+        """Send ``sig`` to one live child (``pid`` or the oldest);
+        returns the pid signalled, or ``None``.  SIGSTOP/SIGCONT pairs
+        model a stalled-but-alive worker whose lease must expire."""
+        for child in self._children:
+            if child.poll() is None and (pid is None or child.pid == pid):
+                child.send_signal(sig)
+                return child.pid
+        return None
 
     def kill(self) -> None:
         for child in self._children:

@@ -30,14 +30,29 @@ simulators -- schedulable, restartable, observable:
 * :mod:`~repro.service.client` / :mod:`~repro.service.soak` -- the
   stdlib client used by ``submit``/``status`` and the self-load-test
   that drives a live server with the open-arrival traffic generator.
+* :mod:`~repro.service.chaos` / :mod:`~repro.service.resilience` --
+  the hardening pair (docs/resilience.md): a seeded, deterministic
+  :class:`ChaosPolicy` injects service-level faults (HTTP 500s/
+  latency/drops, worker SIGKILL/stalls, SQLite busy contention)
+  while :class:`RetryPolicy` + ``submit_key`` idempotency on the
+  client and :class:`AdmissionController` (per-tenant token buckets,
+  queue-depth bounds, priority-ordered load shedding) on the server
+  absorb them; :mod:`~repro.service.chaos_soak` proves the loop
+  closed -- zero lost or duplicated jobs under aggressive chaos.
 
 Everything is stdlib-only (sqlite3, http.server, urllib); the model
 and cache layers below are untouched, which is what makes the service
 round-trip provably byte-identical to a direct ``sweep`` run.
 """
 
+from repro.service.chaos import ChaosEngine, ChaosPolicy, policy_from_value
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.coalesce import InflightRegistry, compute_point_shared
+from repro.service.resilience import (
+    AdmissionController,
+    RetryPolicy,
+    TokenBucket,
+)
 from repro.service.store import (
     JOB_STATES,
     TERMINAL_STATES,
@@ -47,11 +62,17 @@ from repro.service.store import (
 
 __all__ = [
     "JOB_STATES",
+    "AdmissionController",
+    "ChaosEngine",
+    "ChaosPolicy",
     "InflightRegistry",
     "Job",
     "JobStore",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "TERMINAL_STATES",
+    "TokenBucket",
     "compute_point_shared",
+    "policy_from_value",
 ]

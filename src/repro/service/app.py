@@ -24,11 +24,14 @@ import os
 import signal
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Callable
 
 from repro.campaign.cache import ResultCache
 from repro.parallel import WorkerSupervisor
+from repro.service.chaos import ChaosEngine, ChaosPolicy, policy_from_value
+from repro.service.resilience import AdmissionController
 from repro.service.server import ControlPlane, serve_http
 from repro.service.store import JobStore
 
@@ -52,6 +55,11 @@ class ServeConfig:
         drain_timeout_s: float = 120.0,
         maintenance_interval_s: float = 1.0,
         verbose: bool = False,
+        chaos: "ChaosPolicy | str | dict | None" = None,
+        tenant_rate_per_s: float | None = None,
+        tenant_burst: float = 10.0,
+        queue_limit: int | None = None,
+        shed_inflight: int | None = None,
     ) -> None:
         self.db = db
         self.cache_dir = cache_dir
@@ -65,6 +73,18 @@ class ServeConfig:
         self.drain_timeout_s = drain_timeout_s
         self.maintenance_interval_s = maintenance_interval_s
         self.verbose = verbose
+        self.chaos = (policy_from_value(chaos)
+                      if chaos is not None else None)
+        self.tenant_rate_per_s = tenant_rate_per_s
+        self.tenant_burst = tenant_burst
+        self.queue_limit = queue_limit
+        self.shed_inflight = shed_inflight
+
+    @property
+    def admission_enabled(self) -> bool:
+        return (self.tenant_rate_per_s is not None
+                or self.queue_limit is not None
+                or self.shed_inflight is not None)
 
     def worker_argv(self, index: int) -> list[str]:
         argv = [
@@ -77,6 +97,8 @@ class ServeConfig:
         ]
         if self.cache_budget is not None:
             argv += ["--cache-budget", str(self.cache_budget)]
+        if self.chaos is not None and self.chaos.enabled:
+            argv += ["--chaos", self.chaos.to_json()]
         return argv
 
 
@@ -93,7 +115,20 @@ def run_serve(config: ServeConfig,
         Path(directory).mkdir(parents=True, exist_ok=True)
     Path(config.db).parent.mkdir(parents=True, exist_ok=True)
 
-    store = JobStore(config.db)
+    chaos_engine = None
+    if config.chaos is not None and config.chaos.enabled:
+        chaos_engine = ChaosEngine(config.chaos, scope="server")
+        log(f"serve: chaos armed (seed={config.chaos.seed})")
+    admission = None
+    if config.admission_enabled:
+        admission = AdmissionController(
+            tenant_rate_per_s=config.tenant_rate_per_s,
+            tenant_burst=config.tenant_burst,
+            queue_limit=config.queue_limit,
+            shed_inflight=config.shed_inflight,
+        )
+
+    store = JobStore(config.db, chaos=chaos_engine)
     cache = ResultCache(config.cache_dir, byte_budget=config.cache_budget)
 
     # Crash recovery: anything still claimed/running belongs to a
@@ -105,7 +140,8 @@ def run_serve(config: ServeConfig,
 
     supervisor = WorkerSupervisor(config.worker_argv)
     plane = ControlPlane(store, cache, config.results_dir,
-                         worker_pids=supervisor.pids)
+                         worker_pids=supervisor.pids,
+                         admission=admission, chaos=chaos_engine)
     server, http_thread = serve_http(plane, config.host, config.port,
                                      verbose=config.verbose)
     host, port = server.server_address[0], server.server_address[1]
@@ -126,7 +162,30 @@ def run_serve(config: ServeConfig,
         signal.signal(signal.SIGINT, _drain)
 
     # Maintenance: reclaim expired/dead leases; keep the pool full.
+    # ``stalled`` tracks chaos-SIGSTOPped workers and when to SIGCONT
+    # them -- a stalled-but-alive worker whose heartbeat goes silent,
+    # the lease-expiry path a self-kill cannot exercise.
+    stalled: list[tuple[int, float]] = []
     while not stopping.wait(config.maintenance_interval_s):
+        if chaos_engine is not None:
+            now = time.monotonic()
+            for pid, due in list(stalled):
+                if now >= due:
+                    supervisor.signal_one(signal.SIGCONT, pid=pid)
+                    stalled.remove((pid, due))
+            if chaos_engine.supervisor_kill():
+                pid = supervisor.kill_one()
+                if pid is not None:
+                    store.bump("service.chaos.injected.supervisor_kill")
+                    log(f"serve: chaos SIGKILLed worker pid {pid}")
+            stall_s = chaos_engine.supervisor_stall()
+            if stall_s is not None:
+                pid = supervisor.signal_one(signal.SIGSTOP)
+                if pid is not None:
+                    stalled.append((pid, time.monotonic() + stall_s))
+                    store.bump("service.chaos.injected.supervisor_stall")
+                    log(f"serve: chaos SIGSTOPped worker pid {pid} "
+                        f"for {stall_s:.1f}s")
         reclaimed = store.reclaim(check_pid=True)
         if reclaimed:
             log(f"serve: reclaimed {len(reclaimed)} job(s) from "
@@ -141,6 +200,8 @@ def run_serve(config: ServeConfig,
     log("serve: draining (no new submissions; workers finish "
         "running jobs)")
     plane.draining.set()
+    for pid, _ in stalled:  # a SIGSTOPped worker cannot see SIGTERM
+        supervisor.signal_one(signal.SIGCONT, pid=pid)
     supervisor.terminate()
     drained = supervisor.wait(config.drain_timeout_s)
     if not drained:

@@ -1,0 +1,232 @@
+"""Client retry policy and server admission control.
+
+The hardening pair for :mod:`repro.service.chaos`: chaos injects the
+faults, this module is what absorbs them.
+
+Client side, :class:`RetryPolicy` gives :class:`~repro.service.client.
+ServiceClient` capped decorrelated-jitter exponential backoff on
+connection errors, 5xx and 429 (honoring ``Retry-After``); paired with
+client-generated idempotency keys on ``POST /jobs`` (the ``submit_key``
+column's unique index in :class:`~repro.service.store.JobStore`), a
+retried submit converges on exactly one job row no matter how many
+responses were dropped on the floor.
+
+Server side, :class:`AdmissionController` keeps one greedy tenant from
+starving the queue: per-tenant token-bucket rate limits and a global
+queue-depth bound on submissions, plus priority-ordered load shedding
+under request-concurrency pressure -- observability routes (``/stats``,
+``/jobs/{id}/events``) shed *before* job submissions, and
+``/healthz``/cancel never shed.  Every refusal is a 429 carrying
+``Retry-After``, accounted under ``service.admission.*``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ROUTE_CLASSES",
+    "AdmissionController",
+    "RetryPolicy",
+    "TokenBucket",
+    "backoff_delays",
+]
+
+#: Load-shed priority classes, highest-value last.  ``shed_first``
+#: routes are observability (a client can poll later); ``shed_last``
+#: routes carry tenant work; ``never`` routes are the control surface
+#: a degraded service needs to stay debuggable and drainable.
+ROUTE_CLASSES = {
+    "stats": "shed_first",
+    "events": "shed_first",
+    "submit": "shed_last",
+    "job": "shed_last",
+    "result": "shed_last",
+    "cancel": "never",
+    "healthz": "never",
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped decorrelated-jitter exponential backoff.
+
+    ``statuses`` are the response codes worth retrying (transient
+    server trouble + throttling); transport failures (connection
+    refused/reset/timeout) retry whenever ``retry_connect``.  A
+    server-sent ``Retry-After`` overrides the jittered delay.  ``seed``
+    pins the jitter stream for deterministic tests.
+    """
+
+    max_attempts: int = 5
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    statuses: tuple[int, ...] = (429, 500, 502, 503, 504)
+    retry_connect: bool = True
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ValueError("need 0 < base_s <= cap_s")
+
+    def retryable(self, status: int | None) -> bool:
+        if status is None:
+            return self.retry_connect
+        return status in self.statuses
+
+
+def backoff_delays(policy: RetryPolicy,
+                   rng: random.Random) -> "list[float]":
+    """The policy's full delay sequence (``max_attempts - 1`` sleeps),
+    decorrelated jitter: ``d[n] = min(cap, U(base, 3 * d[n-1]))``.
+
+    Exposed for tests and for callers that want the schedule up front;
+    the client draws the same recurrence lazily.
+    """
+    delays: list[float] = []
+    prev = policy.base_s
+    for _ in range(policy.max_attempts - 1):
+        prev = min(policy.cap_s, rng.uniform(policy.base_s, 3.0 * prev))
+        delays.append(prev)
+    return delays
+
+
+class TokenBucket:
+    """Classic token bucket with an injectable clock; thread-safe.
+
+    ``try_take`` returns 0.0 on success or the seconds until the
+    deficit refills -- the ``Retry-After`` a refused request should
+    carry.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float,
+                 now: Callable[[], float] = time.monotonic) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._now = now
+        self._tokens = float(burst)
+        self._last = now()
+        self._lock = threading.Lock()
+
+    def try_take(self, n: float = 1.0) -> float:
+        with self._lock:
+            now = self._now()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate_per_s
+            )
+            self._last = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return 0.0
+            return (n - self._tokens) / self.rate_per_s
+
+
+class AdmissionController:
+    """Overload protection for the control plane; thread-safe.
+
+    Three independent guards, checked in this order for submissions:
+
+    1. **Concurrency shedding** (all sheddable routes): when the number
+       of requests in flight exceeds ``shed_inflight``, ``shed_first``
+       routes are refused; past ``2 * shed_inflight``, ``shed_last``
+       routes go too.  ``never`` routes always pass.
+    2. **Queue depth** (submissions): more than ``queue_limit`` jobs
+       already queued refuses new work outright.
+    3. **Per-tenant token bucket** (submissions): ``tenant_rate_per_s``
+       sustained, ``tenant_burst`` burst, buckets created lazily per
+       tenant name.
+
+    Every refusal returns ``(False, retry_after_s, reason)``; reasons
+    are the ``service.admission.*`` counter suffixes.
+    """
+
+    def __init__(
+        self,
+        tenant_rate_per_s: float | None = None,
+        tenant_burst: float = 10.0,
+        queue_limit: int | None = None,
+        shed_inflight: int | None = None,
+        shed_retry_after_s: float = 1.0,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.tenant_rate_per_s = tenant_rate_per_s
+        self.tenant_burst = tenant_burst
+        self.queue_limit = queue_limit
+        self.shed_inflight = shed_inflight
+        self.shed_retry_after_s = shed_retry_after_s
+        self._now = now
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    # -- in-flight request tracking -------------------------------------
+    def track(self) -> "_InflightTracker":
+        """``with admission.track():`` around one request's handling."""
+        return _InflightTracker(self)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    # -- decisions -------------------------------------------------------
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                assert self.tenant_rate_per_s is not None
+                bucket = TokenBucket(self.tenant_rate_per_s,
+                                     self.tenant_burst, now=self._now)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit_route(self, route: str) -> tuple[bool, float, str | None]:
+        """Concurrency-pressure shedding for ``route`` (one of
+        :data:`ROUTE_CLASSES`); call while the request is already
+        tracked."""
+        klass = ROUTE_CLASSES.get(route, "shed_last")
+        if klass == "never" or self.shed_inflight is None:
+            return True, 0.0, None
+        inflight = self.inflight
+        limit = (self.shed_inflight if klass == "shed_first"
+                 else 2 * self.shed_inflight)
+        if inflight > limit:
+            return False, self.shed_retry_after_s, f"shed.{route}"
+        return True, 0.0, None
+
+    def admit_submit(self, tenant: str,
+                     queue_depth: int) -> tuple[bool, float, str | None]:
+        """Queue-depth + per-tenant rate admission for ``POST /jobs``
+        (concurrency shedding is applied separately via
+        :meth:`admit_route`)."""
+        if self.queue_limit is not None and queue_depth >= self.queue_limit:
+            return False, self.shed_retry_after_s, "queue_full"
+        if self.tenant_rate_per_s is not None:
+            retry_after = self.bucket(tenant).try_take()
+            if retry_after > 0.0:
+                return False, retry_after, "rate_limited"
+        return True, 0.0, None
+
+
+class _InflightTracker:
+    def __init__(self, admission: AdmissionController) -> None:
+        self._admission = admission
+
+    def __enter__(self) -> "_InflightTracker":
+        with self._admission._lock:
+            self._admission._inflight += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        with self._admission._lock:
+            self._admission._inflight -= 1

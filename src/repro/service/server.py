@@ -21,6 +21,17 @@ Submissions during drain are refused with 503 so ``SIGTERM`` means "no
 new work, finish what's running".  Every response path is accounted:
 ``service.http.requests`` / ``service.http.5xx`` feed the soak's
 fail-on-5xx gate.
+
+Overload protection and chaos (docs/resilience.md): an optional
+:class:`~repro.service.resilience.AdmissionController` turns tenant
+floods into 429 + ``Retry-After`` (token buckets, queue-depth bound,
+priority-ordered shedding -- ``/stats`` and event polling shed before
+job submission), and an optional
+:class:`~repro.service.chaos.ChaosEngine` injects 500s, latency and
+connection drops per request (``/healthz`` exempt; injected errors are
+accounted under ``service.chaos.*``, **not** ``service.http.5xx``).
+A retried ``POST /jobs`` carrying a ``submit_key`` the store has seen
+returns the existing job with 200 instead of enqueueing a duplicate.
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ from typing import Any, Callable
 from urllib.parse import parse_qs, urlparse
 
 from repro.campaign.cache import ResultCache
+from repro.service.chaos import ChaosEngine
+from repro.service.resilience import AdmissionController
 from repro.service.store import JobStore, TERMINAL_STATES
 from repro.service.worker import EXPORT_FORMATS, safe_tenant
 
@@ -51,11 +64,15 @@ class ControlPlane:
         cache: ResultCache,
         results_dir: str | Path,
         worker_pids: Callable[[], list[int]] = lambda: [],
+        admission: AdmissionController | None = None,
+        chaos: ChaosEngine | None = None,
     ) -> None:
         self.store = store
         self.cache = cache
         self.results_dir = Path(results_dir)
         self.worker_pids = worker_pids
+        self.admission = admission
+        self.chaos = chaos
         self.draining = threading.Event()
         self.started_at = time.time()
 
@@ -76,7 +93,32 @@ class ControlPlane:
             seed = int(body.get("seed", 0))
         except (TypeError, ValueError):
             return 400, {"error": "'priority' and 'seed' must be integers"}
+        submit_key = body.get("submit_key")
+        if submit_key is not None and not (
+            isinstance(submit_key, str) and 0 < len(submit_key) <= 128
+        ):
+            return 400, {"error": "'submit_key' must be a short string"}
         tenant = safe_tenant(str(body.get("tenant", "default")))
+        # Idempotency first: a retry of an already-accepted submission
+        # must resolve to its job even when the tenant is currently
+        # throttled -- the work was admitted (and charged) once.
+        if submit_key is not None:
+            existing = self.store.get_by_submit_key(submit_key)
+            if existing is not None:
+                self.store.bump("service.jobs.deduped")
+                return 200, existing.to_dict()
+        if self.admission is not None:
+            depth = self.store.counts_by_state()["queued"]
+            ok, retry_after, reason = self.admission.admit_submit(
+                tenant, depth
+            )
+            if not ok:
+                self.store.bump(f"service.admission.{reason}")
+                return 429, {
+                    "error": f"submission refused ({reason}); "
+                             "back off and retry",
+                    "retry_after": retry_after,
+                }
         spec = {
             "campaign": campaign,
             "fast": bool(body.get("fast", True)),
@@ -91,10 +133,12 @@ class ControlPlane:
             resolve_campaign(spec)
         except Exception as exc:
             return 400, {"error": str(exc)}
-        job_id = self.store.submit(tenant, spec, priority=priority)
+        job_id, created = self.store.submit_idempotent(
+            tenant, spec, priority=priority, submit_key=submit_key
+        )
         job = self.store.get(job_id)
         assert job is not None
-        return 201, job.to_dict()
+        return (201 if created else 200), job.to_dict()
 
     def job(self, job_id: str) -> tuple[int, dict[str, Any]]:
         job = self.store.get(job_id)
@@ -162,6 +206,17 @@ class ControlPlane:
                 "bytes": self.cache.total_bytes(),
                 "byte_budget": self.cache.byte_budget,
             },
+            "admission": (
+                None if self.admission is None else {
+                    "inflight": self.admission.inflight,
+                    "tenant_rate_per_s": self.admission.tenant_rate_per_s,
+                    "tenant_burst": self.admission.tenant_burst,
+                    "queue_limit": self.admission.queue_limit,
+                    "shed_inflight": self.admission.shed_inflight,
+                }
+            ),
+            "chaos": (self.chaos.policy.to_dict()
+                      if self.chaos is not None else None),
             "oldest_claimed_s": max(claimed_ages, default=0.0),
         }
 
@@ -177,12 +232,16 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - operator aid
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(self, status: int, payload: dict[str, Any],
+                   injected: bool = False) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-        self._account(status)
+        self._account(status, injected=injected)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        retry_after = payload.get("retry_after")
+        if status == 429 and retry_after is not None:
+            self.send_header("Retry-After", f"{max(0.0, retry_after):.3f}")
         self.end_headers()
         self.wfile.write(body)
 
@@ -194,11 +253,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _account(self, status: int) -> None:
+    def _account(self, status: int, injected: bool = False) -> None:
         plane = self.server.plane
         plane.store.bump("service.http.requests")
+        if status == 429:
+            plane.store.bump("service.http.429")
         if status >= 500:
-            plane.store.bump("service.http.5xx")
+            # Chaos-injected errors are accounted under their own name
+            # so service.http.5xx stays a *real-bug* signal the soak
+            # gates on.
+            plane.store.bump("service.chaos.injected.http_500" if injected
+                             else "service.http.5xx")
 
     def _body(self) -> dict[str, Any] | None:
         length = int(self.headers.get("Content-Length") or 0)
@@ -210,51 +275,61 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return parsed if isinstance(parsed, dict) else None
 
+    @staticmethod
+    def _route_name(method: str, parts: list[str]) -> str:
+        """The admission/shedding class key for this request (see
+        :data:`repro.service.resilience.ROUTE_CLASSES`)."""
+        if parts == ["healthz"]:
+            return "healthz"
+        if parts == ["stats"]:
+            return "stats"
+        if method == "POST" and parts == ["jobs"]:
+            return "submit"
+        if method == "DELETE" and len(parts) == 2 and parts[0] == "jobs":
+            return "cancel"
+        if len(parts) == 3 and parts[0] == "jobs":
+            return parts[2] if parts[2] in ("events", "result") else "job"
+        return "job"
+
+    def _inject_chaos(self, route: str) -> bool:
+        """Apply the chaos engine's verdict for this request; ``True``
+        means a fault response was already produced (stop routing).
+        ``/healthz`` is exempt -- it is everyone's boot barrier."""
+        plane = self.server.plane
+        if plane.chaos is None or route == "healthz":
+            return False
+        fault = plane.chaos.http_fault()
+        if fault is None:
+            return False
+        kind, arg = fault
+        if kind == "http_latency":
+            plane.store.bump("service.chaos.injected.http_latency")
+            time.sleep(float(arg))
+            return False  # slowed down, then served normally
+        if kind == "http_drop":
+            plane.store.bump("service.chaos.injected.http_drop")
+            plane.store.bump("service.http.requests")
+            # Close the connection without writing a status line; the
+            # client sees RemoteDisconnected (a retryable transport
+            # error), exactly like a proxy falling over mid-request.
+            self.close_connection = True
+            return True
+        self._send_json(int(arg), {"error": "chaos: injected fault"},
+                        injected=True)
+        return True
+
     def _dispatch(self, method: str) -> None:
         plane = self.server.plane
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        route = self._route_name(method, parts)
         try:
-            if method == "GET" and parts == ["healthz"]:
-                return self._send_json(*plane.healthz())
-            if method == "GET" and parts == ["stats"]:
-                return self._send_json(*plane.stats())
-            if method == "POST" and parts == ["jobs"]:
-                body = self._body()
-                if body is None:
-                    return self._send_json(
-                        400, {"error": "body must be a JSON object"}
-                    )
-                return self._send_json(*plane.submit(body))
-            if len(parts) == 2 and parts[0] == "jobs":
-                if method == "GET":
-                    return self._send_json(*plane.job(parts[1]))
-                if method == "DELETE":
-                    return self._send_json(*plane.cancel(parts[1]))
-            if (method == "GET" and len(parts) == 3
-                    and parts[0] == "jobs" and parts[2] == "events"):
-                query = parse_qs(url.query)
-                try:
-                    since = int(query.get("since", ["0"])[0])
-                except ValueError:
-                    return self._send_json(
-                        400, {"error": "'since' must be an integer"}
-                    )
-                return self._send_json(*plane.events(parts[1], since))
-            if (method == "GET" and len(parts) == 3
-                    and parts[0] == "jobs" and parts[2] == "result"):
-                outcome = plane.result(parts[1])
-                if isinstance(outcome, bytes):
-                    job = plane.store.get(parts[1])
-                    content_type = (
-                        "text/csv" if job and str(job.result_path)
-                        .endswith(".csv") else "application/json"
-                    )
-                    return self._send_bytes(outcome, content_type)
-                return self._send_json(*outcome)
-            return self._send_json(
-                404, {"error": f"no route {method} {url.path}"}
-            )
+            if self._inject_chaos(route):
+                return
+            if plane.admission is not None:
+                with plane.admission.track():
+                    return self._route(plane, method, url, parts, route)
+            return self._route(plane, method, url, parts, route)
         except BrokenPipeError:  # client went away mid-response
             pass
         except Exception as exc:  # noqa: BLE001 - boundary: become a 500
@@ -264,6 +339,57 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             except Exception:  # noqa: BLE001 - socket already gone
                 pass
+
+    def _route(self, plane: ControlPlane, method: str, url: Any,
+               parts: list[str], route: str) -> None:
+        if plane.admission is not None:
+            ok, retry_after, reason = plane.admission.admit_route(route)
+            if not ok:
+                plane.store.bump(f"service.admission.{reason}")
+                return self._send_json(429, {
+                    "error": f"overloaded ({reason}); back off and retry",
+                    "retry_after": retry_after,
+                })
+        if method == "GET" and parts == ["healthz"]:
+            return self._send_json(*plane.healthz())
+        if method == "GET" and parts == ["stats"]:
+            return self._send_json(*plane.stats())
+        if method == "POST" and parts == ["jobs"]:
+            body = self._body()
+            if body is None:
+                return self._send_json(
+                    400, {"error": "body must be a JSON object"}
+                )
+            return self._send_json(*plane.submit(body))
+        if len(parts) == 2 and parts[0] == "jobs":
+            if method == "GET":
+                return self._send_json(*plane.job(parts[1]))
+            if method == "DELETE":
+                return self._send_json(*plane.cancel(parts[1]))
+        if (method == "GET" and len(parts) == 3
+                and parts[0] == "jobs" and parts[2] == "events"):
+            query = parse_qs(url.query)
+            try:
+                since = int(query.get("since", ["0"])[0])
+            except ValueError:
+                return self._send_json(
+                    400, {"error": "'since' must be an integer"}
+                )
+            return self._send_json(*plane.events(parts[1], since))
+        if (method == "GET" and len(parts) == 3
+                and parts[0] == "jobs" and parts[2] == "result"):
+            outcome = plane.result(parts[1])
+            if isinstance(outcome, bytes):
+                job = plane.store.get(parts[1])
+                content_type = (
+                    "text/csv" if job and str(job.result_path)
+                    .endswith(".csv") else "application/json"
+                )
+                return self._send_bytes(outcome, content_type)
+            return self._send_json(*outcome)
+        return self._send_json(
+            404, {"error": f"no route {method} {url.path}"}
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         self._dispatch("GET")

@@ -74,6 +74,9 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 CREATE INDEX IF NOT EXISTS jobs_claim
     ON jobs (state, priority DESC, seq ASC);
+-- submit_key is added by _migrate() on stores that predate it; the
+-- unique index (also created there) is what makes retried POST /jobs
+-- idempotent: a duplicate key resolves to the existing row.
 CREATE TABLE IF NOT EXISTS events (
     seq     INTEGER PRIMARY KEY AUTOINCREMENT,
     job_id  TEXT NOT NULL,
@@ -120,6 +123,7 @@ class Job:
     priority: int
     spec: dict[str, Any]
     state: str
+    submit_key: str | None
     cancel_requested: bool
     attempts: int
     worker: str | None
@@ -142,6 +146,7 @@ class Job:
             "priority": self.priority,
             "spec": self.spec,
             "state": self.state,
+            "submit_key": self.submit_key,
             "cancel_requested": self.cancel_requested,
             "attempts": self.attempts,
             "worker": self.worker,
@@ -164,6 +169,7 @@ def _row_to_job(row: sqlite3.Row) -> Job:
         priority=row["priority"],
         spec=json.loads(row["spec"]),
         state=row["state"],
+        submit_key=row["submit_key"],
         cancel_requested=bool(row["cancel_requested"]),
         attempts=row["attempts"],
         worker=row["worker"],
@@ -191,14 +197,38 @@ class JobStore:
     """
 
     def __init__(self, path: str | Path, busy_timeout_s: float = 30.0,
-                 now: Callable[[], float] = time.time) -> None:
+                 now: Callable[[], float] = time.time,
+                 chaos: Any = None) -> None:
         self.path = str(path)
         Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._busy_timeout_s = busy_timeout_s
         self._now = now
+        #: Optional :class:`~repro.service.chaos.ChaosEngine`; when set,
+        #: write transactions may sit on the lock (busy contention).
+        self._chaos = chaos
         self._local = threading.local()
         # executescript manages its own transaction (implicit COMMIT).
         self._conn().executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Additive schema upgrades for stores created by older code.
+
+        ``submit_key`` (client idempotency key) arrived after the
+        first deployments; add the column when missing, then the
+        partial unique index that enforces at-most-one job per key.
+        """
+        conn = self._conn()
+        columns = {
+            row["name"]
+            for row in conn.execute("PRAGMA table_info(jobs)")
+        }
+        if "submit_key" not in columns:
+            conn.execute("ALTER TABLE jobs ADD COLUMN submit_key TEXT")
+        conn.execute(
+            "CREATE UNIQUE INDEX IF NOT EXISTS jobs_submit_key"
+            " ON jobs (submit_key) WHERE submit_key IS NOT NULL"
+        )
 
     # -- connection plumbing --------------------------------------------
     def _conn(self) -> sqlite3.Connection:
@@ -226,13 +256,27 @@ class JobStore:
     class _Tx:
         """``BEGIN IMMEDIATE`` transaction: take the write lock up
         front so read-then-write sequences (claim, reclaim, coalesce
-        acquire) are atomic against concurrent workers."""
+        acquire) are atomic against concurrent workers.
 
-        def __init__(self, conn: sqlite3.Connection) -> None:
+        With a chaos engine armed, a transaction may deliberately sit
+        on the freshly-taken write lock (``sqlite_busy_hold_s``) so
+        every other process's busy-timeout/retry path gets exercised.
+        """
+
+        def __init__(self, conn: sqlite3.Connection,
+                     chaos: Any = None) -> None:
             self.conn = conn
+            self.chaos = chaos
 
         def __enter__(self) -> sqlite3.Connection:
             self.conn.execute("BEGIN IMMEDIATE")
+            if self.chaos is not None:
+                hold_s = self.chaos.sqlite_busy_hold()
+                if hold_s:
+                    JobStore._bump(
+                        self.conn, "service.chaos.injected.sqlite_busy"
+                    )
+                    time.sleep(hold_s)
             return self.conn
 
         def __exit__(self, exc_type, exc, tb) -> None:
@@ -242,27 +286,58 @@ class JobStore:
                 self.conn.execute("ROLLBACK")
 
     def _tx(self) -> "JobStore._Tx":
-        return JobStore._Tx(self._conn())
+        return JobStore._Tx(self._conn(), self._chaos)
 
     # -- submission ------------------------------------------------------
     def submit(self, tenant: str, spec: Mapping[str, Any],
                priority: int = 0) -> str:
         """Enqueue a job; returns its id.  ``spec`` is the JSON job
         description (see :mod:`repro.service.worker` for the schema)."""
+        return self.submit_idempotent(tenant, spec, priority=priority)[0]
+
+    def submit_idempotent(
+        self, tenant: str, spec: Mapping[str, Any], priority: int = 0,
+        submit_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """Enqueue a job, or resolve a retried submission to the row it
+        already created.  Returns ``(job_id, created)``.
+
+        ``submit_key`` is the client-generated idempotency key: the
+        whole lookup-or-insert runs inside one ``BEGIN IMMEDIATE``
+        transaction and the column carries a unique index, so two
+        racing retries of the same logical submission cannot both
+        insert -- one creates, the other observes.
+        """
         job_id = uuid.uuid4().hex[:16]
         now = self._now()
         with self._tx() as conn:
+            if submit_key is not None:
+                row = conn.execute(
+                    "SELECT id FROM jobs WHERE submit_key = ?",
+                    (submit_key,),
+                ).fetchone()
+                if row is not None:
+                    self._bump(conn, "service.jobs.deduped")
+                    return row["id"], False
             cur = conn.execute(
                 "INSERT INTO jobs (id, tenant, priority, spec, state,"
-                " submitted_at) VALUES (?, ?, ?, ?, 'queued', ?)",
-                (job_id, tenant, priority, json.dumps(dict(spec)), now),
+                " submitted_at, submit_key)"
+                " VALUES (?, ?, ?, ?, 'queued', ?, ?)",
+                (job_id, tenant, priority, json.dumps(dict(spec)), now,
+                 submit_key),
             )
             conn.execute("UPDATE jobs SET seq = ? WHERE id = ?",
                          (cur.lastrowid, job_id))
             self._append_event(conn, job_id, "submitted",
                                {"tenant": tenant, "priority": priority})
             self._bump(conn, "service.jobs.submitted")
-        return job_id
+        return job_id, True
+
+    def get_by_submit_key(self, submit_key: str) -> Job | None:
+        row = self._conn().execute(
+            "SELECT * FROM jobs WHERE submit_key = ?", (submit_key,)
+        ).fetchone()
+        return None if row is None else _row_to_job(row)
 
     # -- claiming / leases ----------------------------------------------
     def claim(self, worker: str, pid: int, lease_s: float) -> Job | None:
@@ -352,19 +427,31 @@ class JobStore:
 
     def record_point(self, job_id: str, worker: str, index: int,
                      total: int, key: str, status: str,
-                     telemetry: Mapping[str, Any] | None = None) -> None:
-        """One point finished: bump progress and stream the event."""
+                     telemetry: Mapping[str, Any] | None = None) -> bool:
+        """One point finished: bump progress and stream the event.
+
+        ``False`` means the job is no longer this worker's (reclaimed
+        after a lease expiry, or cancelled): nothing is written -- an
+        orphaned worker waking from a stall must not corrupt the
+        progress count or interleave stale events into the stream the
+        winning attempt is producing.
+        """
         with self._tx() as conn:
-            conn.execute(
+            cur = conn.execute(
                 "UPDATE jobs SET points_done = points_done + 1"
-                " WHERE id = ? AND worker = ?",
+                " WHERE id = ? AND worker = ?"
+                " AND state IN ('claimed', 'running')",
                 (job_id, worker),
             )
+            if cur.rowcount != 1:
+                self._bump(conn, "service.worker.orphan_writes")
+                return False
             self._append_event(
                 conn, job_id, "point",
                 {"index": index, "total": total, "key": key,
                  "status": status, "telemetry": dict(telemetry or {})},
             )
+        return True
 
     def mark_done(self, job_id: str, worker: str, result_path: str) -> bool:
         now = self._now()

@@ -52,6 +52,7 @@ from repro.campaign.engine import (
     export_json,
 )
 from repro.campaign.spec import CampaignSpec, spec_from_dict
+from repro.service.chaos import ChaosEngine, ChaosPolicy, policy_from_value
 from repro.service.coalesce import InflightRegistry, compute_point_shared
 from repro.service.store import Job, JobStore
 
@@ -120,14 +121,24 @@ class _Heartbeat:
         self._worker = worker
         self._lease_s = lease_s
         self._stop = threading.Event()
+        self._paused_until = 0.0
         self.lost = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=f"heartbeat-{job_id}", daemon=True
         )
 
+    def pause_for(self, seconds: float) -> None:
+        """Suppress lease extension for ``seconds`` -- the chaos
+        stall: a genuinely frozen worker process stops heartbeating
+        too, so a stall longer than the lease *must* let the job be
+        reclaimed out from under us."""
+        self._paused_until = time.monotonic() + seconds
+
     def _run(self) -> None:
         interval = max(self._lease_s / 3.0, 0.05)
         while not self._stop.wait(interval):
+            if time.monotonic() < self._paused_until:
+                continue
             if not self._store.heartbeat(
                 self._job_id, self._worker, self._lease_s
             ):
@@ -143,12 +154,49 @@ class _Heartbeat:
         self._thread.join(timeout=5.0)
 
 
+def _apply_point_chaos(chaos: ChaosEngine, store: JobStore,
+                       beat: _Heartbeat) -> None:
+    """One point boundary's injected worker fault, if any.
+
+    ``sigkill`` is the real thing -- ``SIGKILL`` to our own pid, no
+    cleanup, exactly what the lease/reclaim/cache-resume machinery
+    claims to survive (the counter is bumped *first* so the injection
+    is visible in ``/stats`` even though this process never returns).
+    ``stall`` freezes progress *and* heartbeating past the lease, so
+    the job is reclaimed and this worker wakes up an orphan.
+    """
+    fault = chaos.worker_point_fault()
+    if fault is None:
+        return
+    kind, arg = fault
+    if kind == "sigkill":
+        store.bump("service.chaos.injected.worker_kill")
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover - unreachable after SIGKILL
+    store.bump("service.chaos.injected.worker_stall")
+    beat.pause_for(arg)
+    time.sleep(arg)
+
+
 def _write_result(path: Path, text: str) -> None:
     """Atomic write so a half-written export is never served."""
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def _record_failure(store: JobStore, job: Job, worker: str,
+                    exc: BaseException) -> None:
+    """Failure accounting: the terminal event carries the traceback
+    and a ``service.worker.failures.<ExceptionType>`` counter is
+    bumped, so a chaos run can tell injected damage (``JobAbandoned``
+    after a stall, reclaim races) from real bugs (anything else)."""
+    store.bump(f"service.worker.failures.{type(exc).__name__}")
+    store.mark_failed(
+        job.id, worker,
+        f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+    )
 
 
 def execute_job(
@@ -160,6 +208,7 @@ def execute_job(
     worker: str,
     pid: int,
     lease_s: float = 15.0,
+    chaos: ChaosEngine | None = None,
 ) -> str:
     """Run one claimed job to its terminal state; returns that state."""
     try:
@@ -172,7 +221,7 @@ def execute_job(
             )
         points = expand_points(spec)
     except Exception as exc:
-        store.mark_failed(job.id, worker, f"{type(exc).__name__}: {exc}")
+        _record_failure(store, job, worker, exc)
         return "failed"
 
     if not store.mark_running(job.id, worker, len(points)):
@@ -185,14 +234,18 @@ def execute_job(
     try:
         with _Heartbeat(store, job.id, worker, lease_s) as beat:
             for index, pt in enumerate(points):
+                if chaos is not None:
+                    _apply_point_chaos(chaos, store, beat)
                 if beat.lost.is_set():
                     raise JobAbandoned(job.id)
                 if store.cancel_requested(job.id):
                     store.mark_cancelled(job.id, worker)
                     return "cancelled"
                 if pt.key in entries:
-                    store.record_point(job.id, worker, index, len(points),
-                                       pt.key, "shared")
+                    if not store.record_point(job.id, worker, index,
+                                              len(points), pt.key,
+                                              "shared"):
+                        raise JobAbandoned(job.id)
                     continue
                 with registry.deltas() as delta:
                     result, elapsed, status = compute_point_shared(
@@ -206,15 +259,19 @@ def execute_job(
                     )
                     if evicted:
                         store.bump("service.cache.evicted", len(evicted))
-                store.record_point(job.id, worker, index, len(points),
-                                   pt.key, status, telemetry=delta)
+                if not store.record_point(job.id, worker, index,
+                                          len(points), pt.key, status,
+                                          telemetry=delta):
+                    # The job was reclaimed while this point computed
+                    # (stall past the lease): the result is safely in
+                    # the shared cache for the winning attempt, but
+                    # this orphan must stop writing job state.
+                    raise JobAbandoned(job.id)
     except JobAbandoned:
+        store.bump("service.worker.abandoned")
         return "abandoned"
     except Exception as exc:
-        store.mark_failed(
-            job.id, worker,
-            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-        )
+        _record_failure(store, job, worker, exc)
         return "failed"
 
     outcomes = [
@@ -251,20 +308,33 @@ def run_worker(
     cache_budget: int | None = None,
     inflight_lease_s: float = 600.0,
     idle_exit_s: float | None = None,
+    chaos: ChaosPolicy | None = None,
 ) -> int:
     """The claim/execute loop; returns the number of jobs handled.
 
     ``stop`` drains: set it and the worker exits after finishing the
     job in hand (or immediately if idle).  ``idle_exit_s`` lets tests
-    and one-shot tools run the loop to quiescence.
+    and one-shot tools run the loop to quiescence.  ``chaos`` arms
+    deterministic self-inflicted faults (kill/stall/slow-claim, scoped
+    to this ``worker_id``'s decision stream); never arm a policy with
+    ``worker_kill_rate > 0`` on an in-process (thread) worker -- the
+    SIGKILL targets the whole process.
     """
-    store = JobStore(db)
+    engine = (ChaosEngine(chaos, scope=worker_id)
+              if chaos is not None and chaos.enabled else None)
+    store = JobStore(db, chaos=engine)
     cache = ResultCache(cache_dir, byte_budget=cache_budget)
     inflight = InflightRegistry(store, lease_s=inflight_lease_s)
     pid = os.getpid()
     handled = 0
     idle_since = time.monotonic()
     while not stop.is_set():
+        if engine is not None:
+            delay_s = engine.claim_delay()
+            if delay_s:
+                store.bump("service.chaos.injected.claim_delay")
+                if stop.wait(delay_s):
+                    break
         job = store.claim(worker_id, pid, lease_s)
         if job is None:
             if (idle_exit_s is not None
@@ -273,7 +343,7 @@ def run_worker(
             stop.wait(poll_s)
             continue
         execute_job(job, store, cache, inflight, results_dir,
-                    worker_id, pid, lease_s=lease_s)
+                    worker_id, pid, lease_s=lease_s, chaos=engine)
         handled += 1
         idle_since = time.monotonic()
     store.close()
@@ -294,9 +364,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--idle-exit", type=float, default=None,
                         help="exit after this many idle seconds "
                         "(default: run until signalled)")
+    parser.add_argument("--chaos", default=None, metavar="JSON",
+                        help="ChaosPolicy JSON (inline or a file path); "
+                        "arms deterministic worker fault injection")
     args = parser.parse_args(argv)
 
     worker_id = args.worker_id or f"worker-{os.getpid()}"
+    chaos = (policy_from_value(args.chaos)
+             if args.chaos is not None else None)
     stop = threading.Event()
 
     def _drain(signum, frame) -> None:
@@ -308,6 +383,7 @@ def main(argv: list[str] | None = None) -> int:
         args.db, args.cache_dir, args.results_dir, worker_id, stop,
         lease_s=args.lease, poll_s=args.poll,
         cache_budget=args.cache_budget, idle_exit_s=args.idle_exit,
+        chaos=chaos,
     )
     return 0
 

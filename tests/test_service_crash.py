@@ -197,3 +197,113 @@ class TestSigkillResume:
                 proc2.wait(timeout=10)
 
         assert body == _direct_bytes(tmp_path)
+
+
+class TestLeaseExpiryRace:
+    def test_stalled_worker_loses_job_and_orphan_writes_bounce(
+        self, tmp_path
+    ):
+        """The race the ownership guard exists for: worker A stalls
+        past its lease (chaos stall with the heartbeat genuinely
+        paused), the job is reclaimed and re-executed by worker B, and
+        A's late writes are rejected -- the final export is B's and is
+        byte-identical to a direct run."""
+        import threading
+
+        from repro.campaign.builtin import builtin_campaign
+        from repro.service.chaos import ChaosPolicy
+        from repro.service.store import JobStore
+        from repro.service.worker import run_worker
+
+        db = tmp_path / "jobs.db"
+        cache_dir = tmp_path / "cache"
+        results_dir = tmp_path / "results"
+        store = JobStore(db)
+        job_id = store.submit("race", {
+            "campaign": "smoke", "fast": True, "seed": 0,
+            "export": "json",
+        })
+
+        # Worker A stalls 2.5 s at every point boundary on a 0.5 s
+        # lease; the stall pauses its heartbeat thread, so the lease
+        # genuinely expires mid-stall.
+        stall = ChaosPolicy(seed=0, worker_stall_rate=1.0,
+                            worker_stall_s=2.5)
+        stop_a, stop_b = threading.Event(), threading.Event()
+        worker_a = threading.Thread(
+            target=run_worker,
+            args=(db, cache_dir, results_dir, "wA", stop_a),
+            kwargs={"lease_s": 0.5, "poll_s": 0.02, "chaos": stall},
+            daemon=True,
+        )
+        worker_a.start()
+        try:
+            # Wait for A to claim, then for the paused lease to lapse
+            # and the maintenance reclaim to fire.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                job = store.get(job_id)
+                if job.worker == "wA":
+                    break
+                time.sleep(0.02)
+            assert store.get(job_id).worker == "wA"
+            reclaimed = []
+            while time.monotonic() < deadline and not reclaimed:
+                reclaimed = store.reclaim(check_pid=False)
+                time.sleep(0.05)
+            assert reclaimed == [job_id]
+            assert store.get(job_id).state == "queued"
+
+            # Worker B (no chaos) picks the job up and finishes it.
+            worker_b = threading.Thread(
+                target=run_worker,
+                args=(db, cache_dir, results_dir, "wB", stop_b),
+                kwargs={"lease_s": 10.0, "poll_s": 0.02},
+                daemon=True,
+            )
+            worker_b.start()
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                job = store.get(job_id)
+                if job.state == "done":
+                    break
+                time.sleep(0.05)
+            assert job.state == "done"
+            assert job.worker == "wB"
+            assert job.attempts == 2
+
+            # Give orphan A time to wake from its stall and bounce off
+            # the ownership guard, then stop both workers.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                counters = store.stats_counters()
+                if counters.get("service.worker.orphan_writes", 0):
+                    break
+                time.sleep(0.05)
+        finally:
+            stop_a.set()
+            stop_b.set()
+            worker_a.join(timeout=30.0)
+
+        counters = store.stats_counters()
+        assert counters.get("service.worker.orphan_writes", 0) >= 1
+        assert counters.get("service.worker.abandoned", 0) >= 1
+        assert counters["service.chaos.injected.worker_stall"] >= 1
+        events = store.events_since(job_id)
+        kinds = [e["kind"] for e in events]
+        assert "reclaimed" in kinds
+        # No phantom progress events from the orphan: every point
+        # event belongs to the winning attempt.
+        point_workers = {e["data"].get("worker") for e in events
+                         if e["kind"] == "point"
+                         and "worker" in e["data"]}
+        assert point_workers <= {"wB"}
+
+        # The re-executed export is byte-identical to a direct run.
+        job = store.get(job_id)
+        body = Path(job.result_path).read_bytes()
+        direct = run_campaign(
+            builtin_campaign("smoke", fast=True, seed=0),
+            cache_dir=tmp_path / "direct-cache",
+        )
+        assert body == export_json(direct).encode()

@@ -269,3 +269,122 @@ class TestEventsAndStats:
         store.submit("a", SPEC)
         store.submit("b", SPEC)
         assert store.stats_counters()["service.jobs.submitted"] == 2
+
+
+class TestIdempotentSubmit:
+    def test_same_key_resolves_to_one_row(self, store):
+        first, created = store.submit_idempotent("a", SPEC,
+                                                 submit_key="k1")
+        second, again = store.submit_idempotent("a", SPEC,
+                                                submit_key="k1")
+        assert created and not again
+        assert first == second
+        assert store.counts_by_state()["queued"] == 1
+        counters = store.stats_counters()
+        assert counters["service.jobs.submitted"] == 1
+        assert counters["service.jobs.deduped"] == 1
+
+    def test_distinct_keys_are_distinct_jobs(self, store):
+        a, _ = store.submit_idempotent("a", SPEC, submit_key="k1")
+        b, _ = store.submit_idempotent("a", SPEC, submit_key="k2")
+        assert a != b
+
+    def test_no_key_never_dedupes(self, store):
+        assert store.submit("a", SPEC) != store.submit("a", SPEC)
+        assert "service.jobs.deduped" not in store.stats_counters()
+
+    def test_get_by_submit_key(self, store):
+        job_id, _ = store.submit_idempotent("a", SPEC, submit_key="k1")
+        assert store.get_by_submit_key("k1").id == job_id
+        assert store.get_by_submit_key("unknown") is None
+
+    def test_dedupe_survives_terminal_state(self, store):
+        """A retry arriving after the job finished still resolves to
+        the same row -- the client gets the completed job back."""
+        job_id, _ = store.submit_idempotent("a", SPEC, submit_key="k1")
+        store.claim("w0", 1, 5.0)
+        store.mark_running(job_id, "w0", 1)
+        store.mark_done(job_id, "w0", "x")
+        again, created = store.submit_idempotent("a", SPEC,
+                                                 submit_key="k1")
+        assert again == job_id and not created
+
+    def test_racing_retries_insert_once(self, tmp_path):
+        store_path = tmp_path / "jobs.db"
+        JobStore(store_path).close()
+        results: list[str] = []
+        lock = threading.Lock()
+
+        def submit_one():
+            local = JobStore(store_path)
+            job_id, _ = local.submit_idempotent("a", SPEC,
+                                                submit_key="race")
+            with lock:
+                results.append(job_id)
+            local.close()
+
+        threads = [threading.Thread(target=submit_one)
+                   for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 1
+
+    def test_old_database_is_migrated(self, tmp_path):
+        """A pre-submit_key database (PR 9 schema) opens cleanly: the
+        column and its unique index are added on open."""
+        import sqlite3
+
+        path = tmp_path / "old.db"
+        store = JobStore(path)
+        store.submit("a", SPEC)
+        store.close()
+        conn = sqlite3.connect(path)
+        conn.execute("DROP INDEX IF EXISTS jobs_submit_key")
+        conn.execute("ALTER TABLE jobs DROP COLUMN submit_key")
+        conn.commit()
+        conn.close()
+
+        reopened = JobStore(path)
+        assert reopened.counts_by_state()["queued"] == 1  # data kept
+        job_id, _ = reopened.submit_idempotent("a", SPEC,
+                                               submit_key="k1")
+        assert reopened.get_by_submit_key("k1").id == job_id
+        reopened.close()
+
+
+class TestOrphanWrites:
+    """The lease-expiry ownership guard: a worker whose job was
+    reclaimed (and possibly re-claimed by someone else) must not be
+    able to append progress or results."""
+
+    def test_orphan_record_point_is_rejected(self, store, clock):
+        job_id = store.submit("a", SPEC)
+        store.claim("w0", 999999, lease_s=10.0)
+        store.mark_running(job_id, "w0", 2)
+        clock.advance(11.0)
+        store.reclaim(check_pid=False)
+        assert not store.record_point(job_id, "w0", 0, 2, "k0",
+                                      "computed")
+        counters = store.stats_counters()
+        assert counters["service.worker.orphan_writes"] == 1
+        # No phantom event either: the requeued job's history must not
+        # interleave a dead worker's points.
+        kinds = [e["kind"] for e in store.events_since(job_id)]
+        assert "point" not in kinds
+
+    def test_orphan_rejected_after_rival_claims(self, store, clock):
+        job_id = store.submit("a", SPEC)
+        store.claim("w0", 999999, lease_s=10.0)
+        store.mark_running(job_id, "w0", 2)
+        clock.advance(11.0)
+        store.reclaim(check_pid=False)
+        store.claim("w1", 999998, lease_s=10.0)
+        store.mark_running(job_id, "w1", 2)
+        assert not store.record_point(job_id, "w0", 0, 2, "k0",
+                                      "computed")
+        assert store.record_point(job_id, "w1", 0, 2, "k0", "computed")
+        assert not store.mark_done(job_id, "w0", "stale.json")
+        assert store.mark_done(job_id, "w1", "fresh.json")
+        assert store.get(job_id).result_path == "fresh.json"
